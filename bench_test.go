@@ -1,0 +1,206 @@
+// Package fsoi's root benchmark harness maps every table and figure of
+// the paper's evaluation to a testing.B benchmark. Each benchmark runs a
+// scaled-down configuration (exp.BenchOptions) and reports the headline
+// metric of its figure through b.ReportMetric, so `go test -bench=.`
+// regenerates the whole evaluation in miniature. cmd/experiments runs the
+// full-size versions; EXPERIMENTS.md records paper-vs-measured values.
+package fsoi
+
+import (
+	"fmt"
+	"testing"
+
+	"fsoi/internal/core"
+	"fsoi/internal/exp"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+// runExp executes one experiment per benchmark iteration and returns the
+// last result for metric reporting.
+func runExp(b *testing.B, id string, o exp.Options) exp.Result {
+	b.Helper()
+	runner, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var res exp.Result
+	for i := 0; i < b.N; i++ {
+		res = runner(o)
+	}
+	return res
+}
+
+func BenchmarkTable1LinkBudget(b *testing.B) {
+	res := runExp(b, "table1", exp.BenchOptions())
+	b.ReportMetric(res.Values["path_loss_db"], "dB-loss")
+	b.ReportMetric(res.Values["snr_db"], "dB-SNR")
+	b.ReportMetric(res.Values["jitter_ps"], "ps-jitter")
+}
+
+func BenchmarkFig3CollisionProbability(b *testing.B) {
+	o := exp.BenchOptions()
+	res := runExp(b, "fig3", o)
+	b.ReportMetric(res.Values["p0.10_r2"], "Pc(p=0.1,R=2)")
+}
+
+func BenchmarkFig4BackoffSurface(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Trials = 2000
+	res := runExp(b, "fig4", o)
+	b.ReportMetric(res.Values["opt_delay_g1"], "cycles-at-optimum")
+	b.ReportMetric(res.Values["opt_b_g1"], "optimal-B")
+}
+
+func BenchmarkFig5ReplyLatencyDistribution(b *testing.B) {
+	res := runExp(b, "fig5", exp.BenchOptions())
+	b.ReportMetric(res.Values["mode_frac"]*100, "%-in-modal-bin")
+	b.ReportMetric(res.Values["mean"], "cycles-mean")
+}
+
+func BenchmarkFig6Sixteen(b *testing.B) {
+	res := runExp(b, "fig6", exp.BenchOptions())
+	b.ReportMetric(res.Values["geomean_fsoi"], "speedup-fsoi")
+	b.ReportMetric(res.Values["geomean_L0"], "speedup-L0")
+	b.ReportMetric(res.Values["geomean_Lr1"], "speedup-Lr1")
+	b.ReportMetric(res.Values["geomean_Lr2"], "speedup-Lr2")
+}
+
+func BenchmarkFig7SixtyFour(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"jacobi", "mp3d"} // 64-node runs are the heaviest
+	res := runExp(b, "fig7", o)
+	b.ReportMetric(res.Values["geomean_fsoi"], "speedup-fsoi")
+	b.ReportMetric(res.Values["geomean_L0"], "speedup-L0")
+}
+
+func BenchmarkTable4MemoryBW(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"jacobi", "fft"}
+	res := runExp(b, "table4", o)
+	b.ReportMetric(res.Values["fsoi_16_8.8"], "speedup-8.8GBps")
+	b.ReportMetric(res.Values["fsoi_16_52.8"], "speedup-52.8GBps")
+}
+
+func BenchmarkFig8Energy(b *testing.B) {
+	res := runExp(b, "fig8", exp.BenchOptions())
+	b.ReportMetric(res.Values["avg_saving"]*100, "%-energy-saving")
+	b.ReportMetric(res.Values["net_ratio"], "x-network-energy-ratio")
+}
+
+func BenchmarkFig9AckElision(b *testing.B) {
+	res := runExp(b, "fig9", exp.BenchOptions())
+	b.ReportMetric(res.Values["traffic_cut"]*100, "%-meta-traffic-cut")
+	b.ReportMetric(res.Values["collision_cut"]*100, "%-meta-collision-cut")
+}
+
+func BenchmarkFig10DataCollisions(b *testing.B) {
+	res := runExp(b, "fig10", exp.BenchOptions())
+	b.ReportMetric(res.Values["rate_off"]*100, "%-collisions-base")
+	b.ReportMetric(res.Values["rate_on"]*100, "%-collisions-opt")
+}
+
+func BenchmarkFig11BandwidthSweep(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"jacobi"}
+	res := runExp(b, "fig11", o)
+	b.ReportMetric(res.Values["fsoi_0.50"], "relperf-fsoi-50%")
+	b.ReportMetric(res.Values["mesh_0.50"], "relperf-mesh-50%")
+}
+
+func BenchmarkHints(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"mp3d"}
+	res := runExp(b, "hints", o)
+	b.ReportMetric(res.Values["accuracy"]*100, "%-hint-accuracy")
+}
+
+func BenchmarkLLSC(b *testing.B) {
+	o := exp.BenchOptions()
+	res := runExp(b, "llsc", o)
+	b.ReportMetric(res.Values["speedup"], "speedup")
+}
+
+func BenchmarkCorona(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"jacobi"}
+	res := runExp(b, "corona", o)
+	b.ReportMetric(res.Values["ratio"], "x-vs-corona")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks: the §4.3 design choices, each swept around the
+// paper's operating point.
+// ---------------------------------------------------------------------
+
+// runAblation executes one FSOI run with a mutated config and returns
+// its metrics.
+func runAblation(b *testing.B, mutate func(*system.Config)) system.Metrics {
+	b.Helper()
+	app, _ := workload.ByName("mp3d", 0.05)
+	var m system.Metrics
+	for i := 0; i < b.N; i++ {
+		cfg := system.Default(16, system.NetFSOI)
+		mutate(&cfg)
+		m = system.New(cfg).Run(app)
+		if !m.Finished {
+			b.Fatal("ablation run did not finish")
+		}
+	}
+	return m
+}
+
+// BenchmarkAblationReceivers sweeps receivers per lane (the paper picks
+// 2: halving collisions vs 1, diminishing returns beyond).
+func BenchmarkAblationReceivers(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		r := r
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			m := runAblation(b, func(c *system.Config) { c.FSOI.Receivers = r })
+			b.ReportMetric(m.FSOI.CollisionRate(core.LaneMeta)*100, "%-meta-collisions")
+			b.ReportMetric(float64(m.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBackoffBase compares the paper's gentle B=1.1 against
+// the classic Ethernet doubling.
+func BenchmarkAblationBackoffBase(b *testing.B) {
+	for _, base := range []float64{1.1, 2.0} {
+		base := base
+		b.Run(fmt.Sprintf("B=%.1f", base), func(b *testing.B) {
+			m := runAblation(b, func(c *system.Config) { c.FSOI.BackoffB = base })
+			b.ReportMetric(m.Latency.Resolution.Mean(), "cycles-resolution")
+			b.ReportMetric(float64(m.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationLaneSplit sweeps the meta/data VCSEL split around the
+// analytically optimal 3/6.
+func BenchmarkAblationLaneSplit(b *testing.B) {
+	for _, split := range [][2]int{{2, 7}, {3, 6}, {4, 5}} {
+		split := split
+		b.Run(fmt.Sprintf("meta=%d_data=%d", split[0], split[1]), func(b *testing.B) {
+			m := runAblation(b, func(c *system.Config) {
+				c.FSOI.MetaVCSELs = split[0]
+				c.FSOI.DataVCSELs = split[1]
+			})
+			b.ReportMetric(m.Latency.MeanTotal(), "cycles-latency")
+			b.ReportMetric(float64(m.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationQueueDepth sweeps the outgoing-queue depth, the
+// remaining §4.3 sizing choice (Table 3 picks 8 packets per lane).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for _, q := range []int{2, 8, 32} {
+		q := q
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			m := runAblation(b, func(c *system.Config) { c.FSOI.OutQueue = q })
+			b.ReportMetric(m.Latency.Queuing.Mean(), "cycles-queuing")
+			b.ReportMetric(float64(m.Cycles), "cycles")
+		})
+	}
+}

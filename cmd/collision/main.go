@@ -1,0 +1,85 @@
+// Command collision explores the analytical models of §4.3.2: the
+// collision-probability expression behind Figure 3 and the
+// exponential-backoff resolution-delay surface behind Figure 4.
+//
+//	collision -mode fig3 -n 16
+//	collision -mode fig4 -g 0.10
+//	collision -mode patho -n 64
+//	collision -mode bw            # bandwidth-allocation optimum (BM*)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsoi/internal/analytic"
+	"fsoi/internal/sim"
+	"fsoi/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "fig3", "fig3 | fig4 | patho | bw")
+	n := flag.Int("n", 16, "number of nodes")
+	g := flag.Float64("g", 0.01, "background transmission probability per slot")
+	trials := flag.Int("trials", 50000, "Monte Carlo trials")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := sim.NewRNG(*seed)
+	switch *mode {
+	case "fig3":
+		t := stats.NewTable("p", "R=1", "R=2", "R=3", "R=4", "MC R=2 pkt", "MC R=2 node")
+		for _, p := range []float64{0.33, 0.25, 0.20, 0.15, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01} {
+			row := []string{fmt.Sprintf("%.2f", p)}
+			for r := 1; r <= 4; r++ {
+				row = append(row, fmt.Sprintf("%.4f",
+					analytic.PacketCollisionProbability(analytic.CollisionParams{N: *n, R: r, P: p})))
+			}
+			pkt, node := analytic.MonteCarloCollision(analytic.CollisionParams{N: *n, R: 2, P: p}, rng, *trials)
+			row = append(row, fmt.Sprintf("%.4f", pkt), fmt.Sprintf("%.4f", node))
+			t.AddRow(row...)
+		}
+		fmt.Print(t.String())
+	case "fig4":
+		ws := []float64{1.5, 2.0, 2.7, 3.0, 4.0, 5.0}
+		bs := []float64{1.05, 1.1, 1.2, 1.5, 2.0}
+		surf := analytic.ResolutionDelaySurface(ws, bs, *g, rng, *trials)
+		header := []string{"W \\ B"}
+		for _, b := range bs {
+			header = append(header, fmt.Sprintf("%.2f", b))
+		}
+		t := stats.NewTable(header...)
+		for i, w := range ws {
+			row := []string{fmt.Sprintf("%.1f", w)}
+			for j := range bs {
+				row = append(row, fmt.Sprintf("%.2f", surf[i][j]))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Print(t.String())
+		w, b, d := analytic.OptimalWB(ws, bs, *g, rng, *trials)
+		fmt.Printf("\noptimum on grid: W=%.1f B=%.2f -> %.2f cycles (paper: 2.7/1.1 -> 7.26)\n", w, b, d)
+	case "patho":
+		for _, b := range []float64{1.1, 2.0} {
+			m := analytic.BackoffModel{W: 2.7, B: b, SlotCycles: 2}
+			res := m.Pathological(rng.NewStream(fmt.Sprint(b)), *n, 2, 200, 1<<17)
+			fmt.Printf("B=%.1f: first packet through after %.1f retries, %.0f cycles (resolved=%v)\n",
+				b, res.MeanRetriesFirst, res.MeanCyclesFirst, res.Resolved)
+		}
+	case "bw":
+		m := analytic.PaperBandwidthModel()
+		bm := m.OptimalMetaShare()
+		meta, data := m.LaneAllocation(9)
+		fmt.Printf("optimal meta-lane share BM* = %.4f (paper: 0.285)\n", bm)
+		fmt.Printf("9-VCSEL budget splits as %d meta + %d data (paper: 3 + 6)\n", meta, data)
+		t := stats.NewTable("BM", "modeled latency")
+		for _, b := range []float64{0.1, 0.2, 0.285, 0.4, 0.5, 0.7} {
+			t.AddRow(fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", m.Latency(b)))
+		}
+		fmt.Print(t.String())
+	default:
+		fmt.Fprintf(os.Stderr, "collision: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig6           # one experiment
+//	experiments -run all            # everything, paper order
+//	experiments -scale 0.25 -run fig7
+//	experiments -list
+//
+// Scale multiplies workload length: 1.0 is the full-size experiment,
+// smaller values trade fidelity for time (0.5 is the calibrated default;
+// see EXPERIMENTS.md for recorded paper-vs-measured values).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fsoi/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (table1, fig3..fig11, table4, hints, llsc, corona) or 'all'")
+	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = full size)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	trials := flag.Int("trials", 30000, "Monte Carlo trials")
+	apps := flag.String("apps", "", "comma-separated app subset (default: all sixteen)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	o := exp.Options{Scale: *scale, Seed: *seed, Trials: *trials}
+	if *apps != "" {
+		o.Apps = strings.Split(*apps, ",")
+	}
+
+	var runners []exp.Runner
+	var ids []string
+	if *run == "all" {
+		for _, e := range exp.Registry {
+			runners = append(runners, e.Runner)
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, ok := exp.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+			ids = append(ids, id)
+		}
+	}
+
+	for i, r := range runners {
+		start := time.Now()
+		res := r(o)
+		fmt.Printf("==== %s — %s (%.1fs) ====\n", ids[i], res.Title, time.Since(start).Seconds())
+		fmt.Println(res.Text)
+	}
+}

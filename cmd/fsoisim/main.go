@@ -1,0 +1,111 @@
+// Command fsoisim runs one application on one interconnect configuration
+// and prints the full metric set: run time, packet-latency breakdown,
+// collision statistics, traffic, and energy.
+//
+//	fsoisim -app jacobi -net fsoi -nodes 16
+//	fsoisim -app mp3d -net mesh -nodes 64 -scale 0.25
+//	fsoisim -app raytrace -net fsoi -no-opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsoi/internal/config"
+	"fsoi/internal/core"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "jacobi", "application (see -listapps)")
+	netName := flag.String("net", "fsoi", "interconnect: fsoi | mesh | L0 | Lr1 | Lr2 | corona")
+	nodes := flag.Int("nodes", 16, "node count (16 or 64)")
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	seed := flag.Uint64("seed", 1, "random seed")
+	memGBps := flag.Float64("membw", 8.8, "total memory bandwidth, GB/s")
+	noOpt := flag.Bool("no-opt", false, "disable all §5 FSOI optimizations")
+	trace := flag.Int("trace", 0, "dump the last N delivered packets")
+	configPath := flag.String("config", "", "JSON spec overriding the flags (see internal/config)")
+	listApps := flag.Bool("listapps", false, "list applications and exit")
+	flag.Parse()
+
+	if *listApps {
+		for _, a := range workload.Suite(1) {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+
+	app, ok := workload.ByName(*appName, *scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsoisim: unknown app %q (use -listapps)\n", *appName)
+		os.Exit(2)
+	}
+	kind, ok := map[string]system.NetworkKind{
+		"fsoi": system.NetFSOI, "mesh": system.NetMesh, "L0": system.NetL0,
+		"Lr1": system.NetLr1, "Lr2": system.NetLr2, "corona": system.NetCorona,
+	}[*netName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsoisim: unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+
+	cfg := system.Default(*nodes, kind)
+	cfg.Seed = *seed
+	cfg.Memory.TotalGBps = *memGBps
+	if *noOpt {
+		cfg.FSOI.Opt = core.Optimizations{}
+	}
+	cfg.TracePackets = *trace
+	if *configPath != "" {
+		spec, err := config.Load(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsoisim:", err)
+			os.Exit(2)
+		}
+		cfg, err = spec.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsoisim:", err)
+			os.Exit(2)
+		}
+		name, sc := spec.AppAndScale()
+		if a, ok := workload.ByName(name, sc); ok {
+			app = a
+			*scale = sc
+		} else {
+			fmt.Fprintf(os.Stderr, "fsoisim: unknown app %q in config\n", name)
+			os.Exit(2)
+		}
+	}
+	s := system.New(cfg)
+	m := s.Run(app)
+
+	fmt.Printf("app=%s net=%s nodes=%d scale=%.2f\n", app.Name, m.Net, m.Nodes, *scale)
+	fmt.Printf("run time            %d cycles (finished=%v)\n", m.Cycles, m.Finished)
+	q, sc, nw, res := m.Latency.Breakdown()
+	fmt.Printf("packet latency      %.2f cycles = queuing %.2f + scheduling %.2f + network %.2f + resolution %.2f\n",
+		m.Latency.MeanTotal(), q, sc, nw, res)
+	fmt.Printf("traffic             %d meta + %d data packets, %d invalidations (%d acks elided), %d NACKs\n",
+		m.MetaPackets, m.DataPackets, m.Invalidations, m.ElidedAcks, m.Nacks)
+	if m.FSOI != nil {
+		fmt.Printf("meta lane           p=%.4f collision rate=%.4f\n",
+			m.FSOI.TransmissionProbability(core.LaneMeta), m.FSOI.CollisionRate(core.LaneMeta))
+		fmt.Printf("data lane           p=%.4f collision rate=%.4f\n",
+			m.FSOI.TransmissionProbability(core.LaneData), m.FSOI.CollisionRate(core.LaneData))
+		fmt.Printf("confirmation lane   %d packet confirms + %d boolean pushes\n",
+			m.FSOI.ConfirmSignals, m.FSOI.ConfirmBits)
+		fmt.Printf("hints               %d issued, %d correct, %d wrong-winner\n",
+			m.FSOI.HintsIssued, m.FSOI.HintsCorrect, m.FSOI.HintsWrong)
+	}
+	fmt.Printf("energy              %.4f J (network %.4f, core+cache %.4f, leakage %.4f), avg power %.1f W\n",
+		m.Energy.Total(), m.Energy.Network, m.Energy.CoreCache, m.Energy.Leakage, m.AvgPowerW)
+	if bucket, frac := m.ReplyHist.ModeFraction(); m.ReplyHist.Total() > 0 {
+		fmt.Printf("reply latency       mean %.1f cycles, modal bin %d-%d holds %.0f%%\n",
+			m.ReplyHist.Mean(), bucket*5, bucket*5+4, frac*100)
+	}
+	if *trace > 0 {
+		fmt.Printf("\nlast %d packets:\n%s", *trace, s.Trace().String())
+	}
+}

@@ -1,0 +1,44 @@
+// Command linkbudget computes the Table 1 optical-link parameters from
+// device first principles: Gaussian-beam propagation through the
+// micro-lens/micro-mirror route, VCSEL and photodetector operating
+// points, receiver noise, Q factor and BER, and signaling-chain power.
+//
+// Flags override the paper's device constants for what-if studies, e.g.:
+//
+//	linkbudget -distance 0.03 -rate 50e9
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fsoi/internal/optics"
+)
+
+func main() {
+	distance := flag.Float64("distance", 2e-2, "optical path length, m")
+	rate := flag.Float64("rate", 40e9, "target data rate, bit/s")
+	bias := flag.Float64("bias", 0.48e-3, "VCSEL bias current, A")
+	txLens := flag.Float64("txlens", 90e-6, "transmit micro-lens aperture, m")
+	rxLens := flag.Float64("rxlens", 190e-6, "receive micro-lens aperture, m")
+	mirrors := flag.Int("mirrors", 2, "micro-mirror reflections on the route")
+	flag.Parse()
+
+	cfg := optics.PaperLink()
+	cfg.Path.Distance = *distance
+	cfg.Path.TxLensAperture = *txLens
+	cfg.Path.RxLensAperture = *rxLens
+	cfg.Path.MirrorCount = *mirrors
+	cfg.DataRate = *rate
+	cfg.VCSEL.BiasCurrent = *bias
+
+	fmt.Printf("FSOI link budget — %.1f mm route at %.0f Gbps\n\n", *distance*1e3, *rate/1e9)
+	fmt.Print(cfg.Budget().String())
+
+	chip := optics.PaperChip(4)
+	fmt.Printf("\nChip geometry (4x4 nodes, %.0f mm die):\n", chip.DieEdge*1e3)
+	fmt.Printf("  worst-case route  %.1f mm\n", chip.WorstCasePath()*1e3)
+	fmt.Printf("  flight time       %.3f core cycles @3.3 GHz\n", optics.FlightCycles(chip.WorstCasePath(), 3.3e9))
+	fmt.Printf("  skew padding      %d line bits for the shortest route\n",
+		optics.SkewPaddingBits(chip.PathLength(0, 1), chip.WorstCasePath(), *rate))
+}

@@ -1,0 +1,51 @@
+// Coherencetrace watches the Table 2 directory protocol at work: it
+// traces every protocol message about one contended cache line through a
+// 16-node FSOI system and prints the annotated event log — requests,
+// downgrades, invalidations, writebacks, and the race resolutions the
+// transient states exist for.
+//
+//	go run ./examples/coherencetrace
+package main
+
+import (
+	"fmt"
+
+	"fsoi/internal/cache"
+	"fsoi/internal/coherence"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+func main() {
+	// Trace one hot shared line. The workload generator puts shared
+	// lines at workload.SharedBase; line SharedBase+1 is homed at the
+	// directory slice of node 1.
+	target := workload.SharedBase + 1
+	coherence.TraceAddr = target
+
+	var events []string
+	coherence.TraceFn = func(f string, a ...any) {
+		events = append(events, fmt.Sprintf(f, a...))
+	}
+
+	app, _ := workload.ByName("mp3d", 0.05) // migratory: lines bounce between owners
+	cfg := system.Default(16, system.NetFSOI)
+	s := system.New(cfg)
+	m := s.Run(app)
+
+	fmt.Printf("ran %s on %d-node FSOI: %d cycles, %d protocol events on line %#x (home: node %d)\n\n",
+		app.Name, m.Nodes, m.Cycles, len(events), uint64(target), int(uint64(target)%16))
+
+	limit := 60
+	if len(events) < limit {
+		limit = len(events)
+	}
+	for _, e := range events[:limit] {
+		fmt.Println(e)
+	}
+	if len(events) > limit {
+		fmt.Printf("... (%d more events)\n", len(events)-limit)
+	}
+
+	fmt.Printf("\nfinal directory state for the line: %s\n", s.Directory(int(uint64(target)%16)).EntryState(cache.LineAddr(target)))
+}

@@ -1,0 +1,62 @@
+// Collisionstudy explores the design decisions of §4.3 analytically and
+// validates them against the full system simulator: how many receivers
+// per node, how to split bandwidth between the meta and data lanes, and
+// how to tune the retransmission backoff.
+//
+//	go run ./examples/collisionstudy
+package main
+
+import (
+	"fmt"
+
+	"fsoi/internal/analytic"
+	"fsoi/internal/core"
+	"fsoi/internal/sim"
+	"fsoi/internal/stats"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+func main() {
+	rng := sim.NewRNG(7)
+
+	// 1. Receivers per node: collision probability is ~inverse in R,
+	// with diminishing returns past 2-3 (the paper picks 2).
+	fmt.Println("1. Collision probability per transmitted packet (N=16, p=10%):")
+	for r := 1; r <= 4; r++ {
+		p := analytic.PacketCollisionProbability(analytic.CollisionParams{N: 16, R: r, P: 0.10})
+		fmt.Printf("   R=%d  %.4f\n", r, p)
+	}
+
+	// 2. Bandwidth allocation between lanes: the latency model's optimum
+	// puts ~28.5% of transmit bandwidth on the meta lane, which at the
+	// paper's 9-VCSEL budget means 3 meta + 6 data.
+	m := analytic.PaperBandwidthModel()
+	meta, data := m.LaneAllocation(9)
+	fmt.Printf("\n2. Optimal meta-lane share BM* = %.3f -> %d meta + %d data VCSELs\n",
+		m.OptimalMetaShare(), meta, data)
+
+	// 3. Backoff tuning: gentle exponential growth (B=1.1) beats the
+	// classic doubling in the common two-collider case.
+	fmt.Println("\n3. Mean collision resolution delay (2 colliders, G=1%):")
+	for _, b := range []float64{1.05, 1.1, 1.5, 2.0} {
+		model := analytic.PaperBackoff(0.01)
+		model.B = b
+		fmt.Printf("   B=%.2f  %.2f cycles\n", b, model.MeanResolutionDelay(rng.NewStream(fmt.Sprint(b)), 20000))
+	}
+
+	// 4. Cross-check against the full system: measured meta-lane
+	// transmission probability and collision rate for one application,
+	// against the analytic curve at the same p.
+	app, _ := workload.ByName("fft", 0.1)
+	cfg := system.Default(16, system.NetFSOI)
+	met := system.New(cfg).Run(app)
+	p := met.FSOI.TransmissionProbability(core.LaneMeta)
+	measured := met.FSOI.CollisionRate(core.LaneMeta)
+	theory := analytic.PacketCollisionProbability(analytic.CollisionParams{N: 16, R: 2, P: p})
+	t := stats.NewTable("source", "p", "collision rate")
+	t.AddRow("simulated (fft)", fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", measured))
+	t.AddRow("analytic model", fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", theory))
+	fmt.Println("\n4. Model vs full-system simulation (meta lane):")
+	fmt.Print(t.String())
+}

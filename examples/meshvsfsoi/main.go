@@ -1,0 +1,48 @@
+// Meshvsfsoi reproduces a slice of the Figure 6/7 study interactively:
+// it runs a handful of applications across all five interconnect
+// configurations (mesh, FSOI, L0, Lr1, Lr2) and prints the latency
+// breakdowns and speedups, at both 16 and 64 nodes.
+//
+//	go run ./examples/meshvsfsoi
+package main
+
+import (
+	"fmt"
+
+	"fsoi/internal/stats"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+func main() {
+	apps := []string{"jacobi", "mp3d", "raytrace"}
+	kinds := []system.NetworkKind{system.NetMesh, system.NetFSOI, system.NetL0, system.NetLr1, system.NetLr2}
+
+	for _, nodes := range []int{16, 64} {
+		scale := 0.2
+		if nodes == 64 {
+			scale = 0.1 // keep the demo quick; cmd/experiments runs full size
+		}
+		fmt.Printf("=== %d nodes ===\n", nodes)
+		t := stats.NewTable("app", "network", "cycles", "latency", "queue", "sched", "net", "resolve", "speedup")
+		for _, name := range apps {
+			app, _ := workload.ByName(name, scale)
+			var base system.Metrics
+			for _, kind := range kinds {
+				cfg := system.Default(nodes, kind)
+				m := system.New(cfg).Run(app)
+				if kind == system.NetMesh {
+					base = m
+				}
+				q, s, n, r := m.Latency.Breakdown()
+				t.AddRow(name, m.Net, fmt.Sprint(m.Cycles),
+					fmt.Sprintf("%.1f", m.Latency.MeanTotal()),
+					fmt.Sprintf("%.1f", q), fmt.Sprintf("%.1f", s),
+					fmt.Sprintf("%.1f", n), fmt.Sprintf("%.1f", r),
+					fmt.Sprintf("%.3f", m.Speedup(base)))
+			}
+		}
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: assemble the paper's 16-node CMP twice — once on the
+// free-space optical interconnect, once on the electrical mesh baseline —
+// run the same workload on both, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
+)
+
+func main() {
+	// Pick a workload. The suite carries sixteen applications calibrated
+	// to the paper's evaluation; scale 0.25 runs a quarter-length
+	// version in a few seconds.
+	app, ok := workload.ByName("ocean", 0.25)
+	if !ok {
+		panic("unknown application")
+	}
+
+	// The mesh baseline: canonical 4-stage virtual-channel routers.
+	meshCfg := system.Default(16, system.NetMesh)
+	mesh := system.New(meshCfg).Run(app)
+
+	// The FSOI system: dedicated VCSEL lanes, slotted transmission,
+	// collision detection with exponential backoff, and the §5
+	// confirmation-channel optimizations (all on by default).
+	fsoiCfg := system.Default(16, system.NetFSOI)
+	fsoi := system.New(fsoiCfg).Run(app)
+
+	fmt.Printf("workload            %s (16 threads)\n\n", app.Name)
+	fmt.Printf("mesh run time       %d cycles\n", mesh.Cycles)
+	fmt.Printf("FSOI run time       %d cycles\n", fsoi.Cycles)
+	fmt.Printf("speedup             %.2fx\n\n", fsoi.Speedup(mesh))
+
+	q, s, n, r := fsoi.Latency.Breakdown()
+	fmt.Printf("mesh packet latency %.1f cycles\n", mesh.Latency.MeanTotal())
+	fmt.Printf("FSOI packet latency %.1f cycles (queue %.1f + schedule %.1f + network %.1f + collisions %.1f)\n\n",
+		fsoi.Latency.MeanTotal(), q, s, n, r)
+
+	fmt.Printf("mesh network energy %.2f mJ\n", mesh.Energy.Network*1e3)
+	fmt.Printf("FSOI network energy %.2f mJ (%.0fx less)\n",
+		fsoi.Energy.Network*1e3, mesh.Energy.Network/fsoi.Energy.Network)
+	fmt.Printf("total energy        %.1f mJ vs %.1f mJ (%.0f%% saving)\n",
+		mesh.Energy.Total()*1e3, fsoi.Energy.Total()*1e3,
+		(1-fsoi.Energy.Total()/mesh.Energy.Total())*100)
+}

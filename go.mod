@@ -1,0 +1,3 @@
+module fsoi
+
+go 1.22

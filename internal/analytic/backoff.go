@@ -1,0 +1,227 @@
+package analytic
+
+import (
+	"math"
+
+	"fsoi/internal/sim"
+)
+
+// BackoffModel is the slot-level model behind Figure 4: senders whose
+// packets collided retry in a uniformly random slot inside a window that
+// grows exponentially with the retry count,
+//
+//	W_r = W * B^(r-1),
+//
+// while the rest of the system keeps transmitting at a background rate G
+// that can cause secondary collisions and inject new contenders.
+type BackoffModel struct {
+	W          float64 // starting window, in slots (may be fractional, e.g. 2.7)
+	B          float64 // exponential base (>= 1; the paper argues B=1.1 over the classic 2)
+	G          float64 // background transmission probability per slot on this receiver
+	SlotCycles int     // processor cycles per slot (2 for meta packets)
+	DetectSlot int     // slots from end of a collided slot until the sender learns of it
+}
+
+// PaperBackoff returns the meta-lane configuration evaluated in §4.3.2:
+// W=2.7, B=1.1, 2-cycle slots. The confirmation laser fires two cycles
+// after a clean receipt, so its absence is known within the first backoff
+// wait slot; DetectSlot is therefore 0 and detection overlaps the wait.
+func PaperBackoff(g float64) BackoffModel {
+	return BackoffModel{W: 2.7, B: 1.1, G: g, SlotCycles: 2, DetectSlot: 0}
+}
+
+// window returns the retry window, in slots, for the r-th retry (r >= 1).
+func (m BackoffModel) window(r int) float64 {
+	w := m.W * math.Pow(m.B, float64(r-1))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// drawWait picks the retry wait: a continuous point in (0, W_r] rounded up
+// to a whole slot, so a window of 2.7 picks slot 3 with probability 0.7/2.7.
+func (m BackoffModel) drawWait(rng *sim.RNG, retry int) int {
+	w := m.window(retry)
+	return int(math.Ceil(rng.Float64() * w))
+}
+
+// contender is one packet working through backoff.
+type contender struct {
+	nextTx int // slot index of the next transmission attempt
+	retry  int // number of retries performed so far
+	born   int // slot whose collision created this contender
+}
+
+// MeanResolutionDelay estimates, by Monte Carlo over trials independent
+// collision episodes, the average collision-resolution delay in processor
+// cycles: the time from the end of the originally collided slot until the
+// end of the slot in which the packet finally goes through. Each episode
+// starts with two packets colliding (the overwhelmingly common case) on
+// one receiver.
+func (m BackoffModel) MeanResolutionDelay(rng *sim.RNG, trials int) float64 {
+	if trials <= 0 {
+		panic("analytic: trials must be positive")
+	}
+	total := 0.0
+	resolved := 0
+	for t := 0; t < trials; t++ {
+		d, n := m.episode(rng, 2, 1<<14)
+		total += d
+		resolved += n
+	}
+	if resolved == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(resolved)
+}
+
+// episode simulates one collision episode with k initial colliders and
+// returns the summed per-packet resolution delay in cycles and the number
+// of packets resolved within maxSlots.
+func (m BackoffModel) episode(rng *sim.RNG, k, maxSlots int) (totalCycles float64, resolved int) {
+	var active []*contender
+	for i := 0; i < k; i++ {
+		c := &contender{born: 0, retry: 1}
+		c.nextTx = m.DetectSlot + m.drawWait(rng, 1)
+		active = append(active, c)
+	}
+	for slot := 1; slot <= maxSlots && len(active) > 0; slot++ {
+		var txs []*contender
+		for _, c := range active {
+			if c.nextTx == slot {
+				txs = append(txs, c)
+			}
+		}
+		background := rng.Bool(m.G)
+		switch {
+		case len(txs) == 1 && !background:
+			// Clean delivery: measure from end of the birth slot to the
+			// end of this slot.
+			c := txs[0]
+			totalCycles += float64((slot - c.born) * m.SlotCycles)
+			resolved++
+			active = remove(active, c)
+		case len(txs) > 0:
+			// Collision (with each other and/or background). Everyone
+			// transmitting backs off again; a colliding background packet
+			// becomes a new contender.
+			for _, c := range txs {
+				c.retry++
+				c.nextTx = slot + m.DetectSlot + m.drawWait(rng, c.retry)
+			}
+			if background {
+				nc := &contender{born: slot, retry: 1}
+				nc.nextTx = slot + m.DetectSlot + m.drawWait(rng, 1)
+				active = append(active, nc)
+			}
+		}
+	}
+	return totalCycles, resolved
+}
+
+func remove(cs []*contender, target *contender) []*contender {
+	out := cs[:0]
+	for _, c := range cs {
+		if c != target {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ResolutionDelaySurface evaluates MeanResolutionDelay over a (W, B) grid,
+// reproducing the Figure 4 surface. The rng is re-derived per grid point
+// so the surface is smooth under a common random-number stream.
+func ResolutionDelaySurface(ws, bs []float64, g float64, rng *sim.RNG, trials int) [][]float64 {
+	out := make([][]float64, len(ws))
+	for i, w := range ws {
+		out[i] = make([]float64, len(bs))
+		for j, b := range bs {
+			m := PaperBackoff(g)
+			m.W, m.B = w, b
+			out[i][j] = m.MeanResolutionDelay(rng.NewStream("surface"), trials)
+		}
+	}
+	return out
+}
+
+// OptimalWB scans a grid and returns the (W, B) with the lowest mean
+// resolution delay; with the paper's parameters the optimum falls near
+// W=2.7, B=1.1.
+func OptimalWB(ws, bs []float64, g float64, rng *sim.RNG, trials int) (bestW, bestB, bestDelay float64) {
+	surface := ResolutionDelaySurface(ws, bs, g, rng, trials)
+	bestDelay = math.Inf(1)
+	for i, w := range ws {
+		for j, b := range bs {
+			if surface[i][j] < bestDelay {
+				bestDelay, bestW, bestB = surface[i][j], w, b
+			}
+		}
+	}
+	return bestW, bestB, bestDelay
+}
+
+// PathologicalResult reports the §4.3.2 worst case: in an N-node system
+// every other node sends one packet to the same target nearly
+// simultaneously.
+type PathologicalResult struct {
+	MeanRetriesFirst float64 // retries until the first packet gets through
+	MeanCyclesFirst  float64 // cycles until the first clean delivery
+	Resolved         bool    // whether any packet succeeded within the horizon
+}
+
+// Pathological simulates the all-to-one burst with nodes-1 simultaneous
+// senders split across receivers receivers, and reports how long the first
+// clean delivery takes. A fixed window (B=1) with small W may effectively
+// never resolve; the horizon caps the search.
+func (m BackoffModel) Pathological(rng *sim.RNG, nodes, receivers, trials, horizonSlots int) PathologicalResult {
+	var sumRetries, sumCycles float64
+	succeeded := 0
+	perReceiver := (nodes - 1 + receivers - 1) / receivers
+	for t := 0; t < trials; t++ {
+		sub := rng.NewStream("patho")
+		slots, retries, ok := m.firstSuccess(sub, perReceiver, horizonSlots)
+		if ok {
+			succeeded++
+			sumRetries += float64(retries)
+			sumCycles += float64(slots * m.SlotCycles)
+		}
+	}
+	if succeeded == 0 {
+		return PathologicalResult{Resolved: false}
+	}
+	return PathologicalResult{
+		MeanRetriesFirst: sumRetries / float64(succeeded),
+		MeanCyclesFirst:  sumCycles / float64(succeeded),
+		Resolved:         true,
+	}
+}
+
+// firstSuccess runs one all-to-one episode until the first clean delivery
+// and returns the slot of that delivery and the retry count of the winning
+// packet.
+func (m BackoffModel) firstSuccess(rng *sim.RNG, k, horizon int) (slots, retries int, ok bool) {
+	active := make([]*contender, k)
+	for i := range active {
+		c := &contender{retry: 1}
+		c.nextTx = m.DetectSlot + m.drawWait(rng, 1)
+		active[i] = c
+	}
+	for slot := 1; slot <= horizon; slot++ {
+		var txs []*contender
+		for _, c := range active {
+			if c.nextTx == slot {
+				txs = append(txs, c)
+			}
+		}
+		if len(txs) == 1 {
+			return slot, txs[0].retry, true
+		}
+		for _, c := range txs {
+			c.retry++
+			c.nextTx = slot + m.DetectSlot + m.drawWait(rng, c.retry)
+		}
+	}
+	return 0, 0, false
+}

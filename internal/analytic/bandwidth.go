@@ -1,0 +1,86 @@
+package analytic
+
+import "math"
+
+// BandwidthModel is the §4.3.2 "bandwidth allocation" latency model. With
+// BM the fraction of total transmit bandwidth given to the meta lane (the
+// rest goes to the data lane), expected packet latency is
+//
+//	L(BM) = C1/BM + C2/BM² + C3/(1-BM) + C4/(1-BM)²
+//
+// where the constants fold together application statistics: packet-type
+// composition, the share of meta/data packets on the critical path, and
+// the expected number of retries. The 1/B terms are serialization and
+// basic transmission latency (inversely proportional to lane bandwidth);
+// the 1/B² terms are collision-resolution latency, which is a product of
+// collision probability and resolution time, both inversely proportional
+// to lane bandwidth.
+type BandwidthModel struct {
+	C1, C2, C3, C4 float64
+}
+
+// PaperBandwidthModel returns constants calibrated so the model matches
+// the paper's setup: meta packets are ~5x more frequent than data packets
+// but 5x shorter, collisions contribute quadratically, and the optimum
+// lands at BM ≈ 0.285 ("about 30% of the bandwidth should be allocated to
+// transmit meta packets").
+func PaperBandwidthModel() BandwidthModel {
+	return BandwidthModel{C1: 1.0, C2: 0.2, C3: 6.31, C4: 3.155}
+}
+
+// Latency evaluates the model at meta share bm in (0,1).
+func (m BandwidthModel) Latency(bm float64) float64 {
+	if bm <= 0 || bm >= 1 {
+		return math.Inf(1)
+	}
+	d := 1 - bm
+	return m.C1/bm + m.C2/(bm*bm) + m.C3/d + m.C4/(d*d)
+}
+
+// OptimalMetaShare finds the bm in (0,1) minimizing Latency via golden-
+// section search; the model is strictly convex on (0,1) for positive
+// constants, so the optimum is unique.
+func (m BandwidthModel) OptimalMetaShare() float64 {
+	const phi = 0.6180339887498949
+	lo, hi := 1e-4, 1-1e-4
+	a := hi - phi*(hi-lo)
+	b := lo + phi*(hi-lo)
+	fa, fb := m.Latency(a), m.Latency(b)
+	for hi-lo > 1e-9 {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = m.Latency(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = m.Latency(b)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LaneAllocation converts a meta-bandwidth share into whole VCSEL counts
+// given a per-node transmit budget, preferring the rounding with lower
+// modelled latency. The paper's 9-VCSEL budget at bm=0.285 yields 3 meta
+// + 6 data VCSELs.
+func (m BandwidthModel) LaneAllocation(totalVCSELs int) (meta, data int) {
+	if totalVCSELs < 2 {
+		panic("analytic: need at least 2 VCSELs to split lanes")
+	}
+	bm := m.OptimalMetaShare()
+	lo := int(math.Floor(bm * float64(totalVCSELs)))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + 1
+	if hi > totalVCSELs-1 {
+		hi = totalVCSELs - 1
+	}
+	if m.Latency(float64(lo)/float64(totalVCSELs)) <= m.Latency(float64(hi)/float64(totalVCSELs)) {
+		meta = lo
+	} else {
+		meta = hi
+	}
+	return meta, totalVCSELs - meta
+}

@@ -1,0 +1,137 @@
+// Package analytic implements the paper's closed-form and Monte Carlo
+// models: the §4.3.2 collision-probability expression (Figure 3), the
+// bandwidth-allocation latency model (the C1..C4 expression whose optimum
+// sets the meta-lane share to ~0.285), and the exponential-backoff
+// collision-resolution-delay model behind Figure 4.
+//
+// These models exist so that early design decisions can be made without
+// "blindly relying on expensive simulations" (§4.3.2); the simulator
+// cross-validates them in the experiment suite.
+package analytic
+
+import (
+	"math"
+
+	"fsoi/internal/sim"
+)
+
+// CollisionParams describes the simplified transmission model of §4.3.2:
+// every one of N nodes transmits with probability p per slot to a uniform
+// random destination; each node owns R receivers and the N-1 potential
+// senders are divided evenly among them.
+type CollisionParams struct {
+	N int     // number of nodes
+	R int     // receivers per node per lane
+	P float64 // per-node transmission probability per slot
+}
+
+// sendersPerReceiver returns n = (N-1)/R as a real number; the paper's
+// formula treats it continuously for non-divisible R.
+func (c CollisionParams) sendersPerReceiver() float64 {
+	return float64(c.N-1) / float64(c.R)
+}
+
+// q is the probability that one particular sender targets one particular
+// receiver in a slot: transmit (p) and pick that destination (1/(N-1)).
+func (c CollisionParams) q() float64 {
+	return c.P / float64(c.N-1)
+}
+
+// NodeCollisionProbability evaluates the paper's displayed expression:
+// the probability that at least one of a node's R receivers sees two or
+// more simultaneous packets in a slot,
+//
+//	1 - [ (1-q)^n + n*q*(1-q)^(n-1) ]^R,  q = p/(N-1), n = (N-1)/R.
+func NodeCollisionProbability(c CollisionParams) float64 {
+	n := c.sendersPerReceiver()
+	if n <= 1 {
+		return 0 // at most one sender per receiver: collisions impossible
+	}
+	q := c.q()
+	clean := math.Pow(1-q, n) + n*q*math.Pow(1-q, n-1)
+	return 1 - math.Pow(clean, float64(c.R))
+}
+
+// PacketCollisionProbability is the per-transmitted-packet collision
+// probability — the quantity Figure 3 plots ("normalized to packet
+// transmission probability"). A transmitted packet collides when any of
+// the other n-1 senders sharing its receiver also targets it:
+//
+//	Pc = 1 - (1-q)^(n-1).
+//
+// To first order Pc is inversely proportional to R, the diminishing-
+// returns observation of §4.3.2.
+func PacketCollisionProbability(c CollisionParams) float64 {
+	n := c.sendersPerReceiver()
+	if n <= 1 {
+		return 0 // a dedicated receiver per sender never collides
+	}
+	q := c.q()
+	return 1 - math.Pow(1-q, n-1)
+}
+
+// TwoReceiverRetransmitCollision is footnote 4's expression for the
+// collision probability of a retransmitted packet in a 2-receiver design
+// given background transmission probability pt:
+//
+//	Pt * (1 - (1 - pt/(N-1))^((N-2)/2)) ≈ pt/2 - pt²/8 + ...
+//
+// It returns the exact form.
+func TwoReceiverRetransmitCollision(n int, pt float64) float64 {
+	return 1 - math.Pow(1-pt/float64(n-1), float64(n-2)/2)
+}
+
+// MonteCarloCollision estimates the same two quantities by direct
+// simulation of the slotted model: trials slots, each node transmitting
+// independently. It returns the per-packet and per-node collision
+// probabilities, validating the closed forms.
+func MonteCarloCollision(c CollisionParams, rng *sim.RNG, trials int) (perPacket, perNode float64) {
+	if c.N < 2 || c.R < 1 {
+		panic("analytic: need N >= 2 and R >= 1")
+	}
+	var sent, collided, nodeSlots, nodeCollisions int
+	// receiverOf maps a sender to the receiver index it uses at any
+	// destination: senders are statically divided among receivers.
+	load := make(map[[2]int][]int) // (dst, receiver) -> senders this slot
+	for t := 0; t < trials; t++ {
+		for k := range load {
+			delete(load, k)
+		}
+		type tx struct{ src, dst, rcv int }
+		var txs []tx
+		for s := 0; s < c.N; s++ {
+			if !rng.Bool(c.P) {
+				continue
+			}
+			d := rng.Intn(c.N - 1)
+			if d >= s {
+				d++
+			}
+			r := s % c.R
+			txs = append(txs, tx{s, d, r})
+			key := [2]int{d, r}
+			load[key] = append(load[key], s)
+		}
+		sent += len(txs)
+		for _, x := range txs {
+			if len(load[[2]int{x.dst, x.rcv}]) > 1 {
+				collided++
+			}
+		}
+		nodeSlots += c.N
+		seen := make(map[int]bool)
+		for key, senders := range load {
+			if len(senders) > 1 && !seen[key[0]] {
+				seen[key[0]] = true
+				nodeCollisions++
+			}
+		}
+	}
+	if sent > 0 {
+		perPacket = float64(collided) / float64(sent)
+	}
+	// perNode is the probability that a given node experiences >=1
+	// receiver collision in a slot, averaged over nodes and slots.
+	perNode = float64(nodeCollisions) / float64(nodeSlots)
+	return perPacket, perNode
+}

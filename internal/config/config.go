@@ -1,0 +1,163 @@
+// Package config provides the JSON configuration surface of the
+// simulator: a flat, documented schema that deserializes into a
+// system.Config, so parameter studies can be scripted without
+// recompiling (fsoisim -config study.json).
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fsoi/internal/core"
+	"fsoi/internal/system"
+)
+
+// Spec is the serializable view of a simulation configuration. Zero
+// fields inherit the paper defaults for the chosen node count and
+// network, so a spec needs to mention only what it changes.
+type Spec struct {
+	Nodes   int     `json:"nodes"`           // 16 or 64
+	Network string  `json:"network"`         // fsoi | mesh | L0 | Lr1 | Lr2 | corona
+	App     string  `json:"app,omitempty"`   // workload name
+	Scale   float64 `json:"scale,omitempty"` // workload scale factor
+	Seed    uint64  `json:"seed,omitempty"`
+
+	// FSOI knobs (ignored on other networks).
+	MetaVCSELs    int      `json:"meta_vcsels,omitempty"`
+	DataVCSELs    int      `json:"data_vcsels,omitempty"`
+	Receivers     int      `json:"receivers,omitempty"`
+	WindowW       float64  `json:"window_w,omitempty"`
+	BackoffB      float64  `json:"backoff_b,omitempty"`
+	OutQueue      int      `json:"out_queue,omitempty"`
+	Optimizations *OptSpec `json:"optimizations,omitempty"`
+
+	// Memory system.
+	MemoryGBps float64 `json:"memory_gbps,omitempty"`
+	Channels   int     `json:"memory_channels,omitempty"`
+
+	// Mesh.
+	RouterCycles      int     `json:"router_cycles,omitempty"`
+	MeshBandwidthFrac float64 `json:"mesh_bandwidth_frac,omitempty"`
+
+	// Diagnostics.
+	TracePackets int `json:"trace_packets,omitempty"`
+}
+
+// OptSpec toggles the §5 optimizations; nil means all on (the paper
+// default), a present struct specifies each explicitly.
+type OptSpec struct {
+	AckElision          bool `json:"ack_elision"`
+	BooleanSubscription bool `json:"boolean_subscription"`
+	ReceiverScheduling  bool `json:"receiver_scheduling"`
+	WritebackSplit      bool `json:"writeback_split"`
+	RetransmitHints     bool `json:"retransmit_hints"`
+}
+
+// networkKinds maps spec names to system kinds.
+var networkKinds = map[string]system.NetworkKind{
+	"fsoi": system.NetFSOI, "mesh": system.NetMesh, "L0": system.NetL0,
+	"Lr1": system.NetLr1, "Lr2": system.NetLr2, "corona": system.NetCorona,
+}
+
+// Load reads a Spec from a JSON file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes a Spec from JSON bytes, rejecting unknown fields so
+// typos fail loudly.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("config: %w", err)
+	}
+	return s, nil
+}
+
+// Build converts the spec into a runnable system configuration.
+func (s Spec) Build() (system.Config, error) {
+	nodes := s.Nodes
+	if nodes == 0 {
+		nodes = 16
+	}
+	netName := s.Network
+	if netName == "" {
+		netName = "fsoi"
+	}
+	kind, ok := networkKinds[netName]
+	if !ok {
+		return system.Config{}, fmt.Errorf("config: unknown network %q", netName)
+	}
+	cfg := system.Default(nodes, kind)
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.MetaVCSELs > 0 {
+		cfg.FSOI.MetaVCSELs = s.MetaVCSELs
+	}
+	if s.DataVCSELs > 0 {
+		cfg.FSOI.DataVCSELs = s.DataVCSELs
+	}
+	if s.Receivers > 0 {
+		cfg.FSOI.Receivers = s.Receivers
+	}
+	if s.WindowW > 0 {
+		cfg.FSOI.WindowW = s.WindowW
+	}
+	if s.BackoffB > 0 {
+		cfg.FSOI.BackoffB = s.BackoffB
+	}
+	if s.OutQueue > 0 {
+		cfg.FSOI.OutQueue = s.OutQueue
+	}
+	if s.Optimizations != nil {
+		o := s.Optimizations
+		cfg.FSOI.Opt = core.Optimizations{
+			AckElision:          o.AckElision,
+			BooleanSubscription: o.BooleanSubscription,
+			ReceiverScheduling:  o.ReceiverScheduling,
+			WritebackSplit:      o.WritebackSplit,
+			RetransmitHints:     o.RetransmitHints,
+		}
+	}
+	if s.MemoryGBps > 0 {
+		cfg.Memory.TotalGBps = s.MemoryGBps
+	}
+	if s.Channels > 0 {
+		cfg.Memory.Channels = s.Channels
+	}
+	if s.MeshBandwidthFrac > 0 {
+		cfg.MeshBandwidthFrac = s.MeshBandwidthFrac
+	}
+	if s.RouterCycles > 0 {
+		cfg.MeshRouterCycles = s.RouterCycles
+	}
+	if s.TracePackets > 0 {
+		cfg.TracePackets = s.TracePackets
+	}
+	if err := cfg.FSOI.Validate(); kind == system.NetFSOI && err != nil {
+		return system.Config{}, err
+	}
+	return cfg, nil
+}
+
+// AppAndScale returns the workload selection with defaults applied.
+func (s Spec) AppAndScale() (string, float64) {
+	app := s.App
+	if app == "" {
+		app = "jacobi"
+	}
+	scale := s.Scale
+	if scale == 0 {
+		scale = 0.5
+	}
+	return app, scale
+}

@@ -1,0 +1,113 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsoi/internal/system"
+)
+
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 16 || cfg.Net != system.NetFSOI {
+		t.Fatalf("defaults wrong: nodes=%d net=%v", cfg.Nodes, cfg.Net)
+	}
+	app, scale := s.AppAndScale()
+	if app != "jacobi" || scale != 0.5 {
+		t.Fatalf("workload defaults: %s %g", app, scale)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"nodse": 16}`)); err == nil {
+		t.Fatal("typos must fail loudly")
+	}
+}
+
+func TestBuildOverrides(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"nodes": 64,
+		"network": "fsoi",
+		"app": "mp3d",
+		"scale": 0.25,
+		"seed": 9,
+		"meta_vcsels": 2,
+		"data_vcsels": 7,
+		"receivers": 3,
+		"window_w": 3.5,
+		"backoff_b": 1.2,
+		"memory_gbps": 52.8,
+		"trace_packets": 32,
+		"optimizations": {"ack_elision": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 64 || cfg.Seed != 9 {
+		t.Fatal("node/seed overrides lost")
+	}
+	if cfg.FSOI.MetaVCSELs != 2 || cfg.FSOI.DataVCSELs != 7 || cfg.FSOI.Receivers != 3 {
+		t.Fatal("lane overrides lost")
+	}
+	if cfg.FSOI.WindowW != 3.5 || cfg.FSOI.BackoffB != 1.2 {
+		t.Fatal("backoff overrides lost")
+	}
+	if cfg.Memory.TotalGBps != 52.8 || cfg.TracePackets != 32 {
+		t.Fatal("memory/trace overrides lost")
+	}
+	if !cfg.FSOI.Opt.AckElision || cfg.FSOI.Opt.RetransmitHints {
+		t.Fatal("explicit optimizations must replace the default set")
+	}
+	app, scale := s.AppAndScale()
+	if app != "mp3d" || scale != 0.25 {
+		t.Fatal("workload overrides lost")
+	}
+}
+
+func TestBuildRejectsBadNetwork(t *testing.T) {
+	s := Spec{Network: "hypercube"}
+	if _, err := s.Build(); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+func TestBuildValidatesFSOI(t *testing.T) {
+	s := Spec{Network: "fsoi", WindowW: 0.1} // below one slot
+	if _, err := s.Build(); err == nil {
+		t.Fatal("invalid FSOI config must error")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(`{"network":"mesh","nodes":16}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Net != system.NetMesh {
+		t.Fatal("network lost in round trip")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing files must error")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsoi/internal/sim"
+)
+
+func TestConfLaneNoDelayWhenIdle(t *testing.T) {
+	c := newConfLane(4, 12)
+	if d := c.sendDelay(0, 100, 4); d != 0 {
+		t.Fatalf("idle lane delayed %d cycles", d)
+	}
+}
+
+func TestConfLaneBacklogDelays(t *testing.T) {
+	c := newConfLane(2, 12)
+	// Saturate node 0's lane within one cycle: 12 minis available, ask
+	// for 30.
+	c.sendDelay(0, 10, 30)
+	if d := c.sendDelay(0, 10, 4); d < 1 {
+		t.Fatalf("saturated lane must push to a later cycle, got %d", d)
+	}
+	// Node 1 is unaffected.
+	if d := c.sendDelay(1, 10, 4); d != 0 {
+		t.Fatal("lanes must be independent")
+	}
+}
+
+func TestConfLaneReservationStable(t *testing.T) {
+	c := newConfLane(4, 12)
+	off1 := c.reserve(0, 2)
+	off2 := c.reserve(0, 2)
+	if off1 != off2 {
+		t.Fatalf("re-reservation moved the offset: %d vs %d", off1, off2)
+	}
+	if off1 < 1 || off1 >= 12 {
+		t.Fatalf("offset %d out of range (0 is receipt-priority)", off1)
+	}
+}
+
+func TestConfLaneDistinctOffsets(t *testing.T) {
+	c := newConfLane(4, 12)
+	seen := map[int]bool{}
+	for sub := 1; sub <= 11; sub++ {
+		off := c.reserve(0, sub)
+		if off < 0 {
+			t.Fatalf("reservation %d denied with offsets free", sub)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d double-booked", off)
+		}
+		seen[off] = true
+	}
+	// The 12th subscriber finds every non-zero offset taken.
+	if off := c.reserve(0, 12); off != -1 {
+		t.Fatalf("oversubscription must be denied, got offset %d", off)
+	}
+	if c.stats.Denied != 1 {
+		t.Fatal("denial must be counted")
+	}
+}
+
+func TestConfLaneRelease(t *testing.T) {
+	c := newConfLane(2, 12)
+	off := c.reserve(1, 0)
+	c.release(1, 0)
+	// The offset is reusable by another subscriber.
+	c.nextOffset[1] = off - 1 // steer the rotation back
+	got := c.reserve(1, 5)
+	if got < 0 {
+		t.Fatal("released offset not reusable")
+	}
+}
+
+func TestConfLaneUtilization(t *testing.T) {
+	c := newConfLane(2, 12)
+	c.sendDelay(0, 0, 12)
+	// 12 minis used of 2 nodes * 10 cycles * 12 minis.
+	if u := c.Utilization(10, 2); u < 0.049 || u > 0.051 {
+		t.Fatalf("utilization = %g, want 0.05", u)
+	}
+	if newConfLane(2, 12).Utilization(0, 2) != 0 {
+		t.Fatal("zero-cycle utilization must be 0")
+	}
+}
+
+func TestConfLaneDelayNonNegativeProperty(t *testing.T) {
+	c := newConfLane(4, 12)
+	err := quick.Check(func(src uint8, at uint16, minis uint8) bool {
+		d := c.sendDelay(int(src%4), 1000+sim.Cycle(at), int(minis%8)+1)
+		return d >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"math"
+
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+)
+
+// CollisionKind classifies data-lane collisions for Figure 10.
+type CollisionKind int
+
+const (
+	// CollisionRetransmission involves at least one retried packet.
+	CollisionRetransmission CollisionKind = iota
+	// CollisionWriteback involves an eviction data packet.
+	CollisionWriteback
+	// CollisionMemory involves a memory-controller packet.
+	CollisionMemory
+	// CollisionReply is between ordinary data replies.
+	CollisionReply
+	numCollisionKinds
+)
+
+// String names the collision kind.
+func (k CollisionKind) String() string {
+	switch k {
+	case CollisionRetransmission:
+		return "retransmission"
+	case CollisionWriteback:
+		return "writeback"
+	case CollisionMemory:
+		return "memory"
+	default:
+		return "reply"
+	}
+}
+
+// ConfirmFunc is invoked at the sender when the confirmation beam for a
+// cleanly received packet arrives (receipt + ConfirmDelay cycles).
+type ConfirmFunc func(p *noc.Packet, now sim.Cycle)
+
+// BitFunc receives a boolean-subscription update carried on a reserved
+// confirmation mini-cycle.
+type BitFunc func(src, dst int, tag uint64, value bool, now sim.Cycle)
+
+// transmission is one attempt-carrying packet instance.
+type transmission struct {
+	pkt          *noc.Packet
+	src          int
+	attempt      int       // 0 on the first transmission
+	firstSlotEnd sim.Cycle // end of the first attempted slot
+	readyCycle   sim.Cycle // when it became eligible to transmit
+	steerExtra   int       // phase-array retarget penalty this attempt
+	winner       bool      // selected by a retransmission hint
+	retrySlot    int64     // earliest slot index for the next attempt
+}
+
+// nodeState is the per-node transmit machinery.
+type nodeState struct {
+	queue     [numLanes][]*noc.Packet
+	notBefore map[*noc.Packet]sim.Cycle // scheduling holds (spacing, writeback split)
+	retries   [numLanes][]*transmission
+	lastDst   [numLanes]int
+
+	// Receiver-side reservation table for the data lane: slot index ->
+	// reservations (receiver scheduling + writeback split).
+	reserved map[int64]int
+
+	// Outstanding requests expecting data replies, per responder, used
+	// to estimate reply timing and to generate collision hints.
+	expecting map[int][]sim.Cycle
+	replyEWMA float64
+}
+
+// slotKey identifies one receiver in one slot.
+type slotKey struct {
+	dst  int
+	lane Lane
+	rcv  int
+	slot int64
+}
+
+// Stats carries FSOI-specific measurements beyond noc.LatencyStats.
+type Stats struct {
+	Attempts       [numLanes]int64 // transmissions including retries
+	Collided       [numLanes]int64 // attempts that ended in a collision
+	Collisions     [numLanes]int64 // collision events (>= 2 attempts each)
+	Delivered      [numLanes]int64
+	SlotsObserved  [numLanes]int64 // node-slots elapsed
+	DataByKind     [numCollisionKinds]int64
+	HintsIssued    int64
+	HintsCorrect   int64
+	HintsWrong     int64 // wrong node believed it won
+	ConfirmBits    int64 // boolean-subscription mini-cycle uses
+	ConfirmSignals int64 // packet confirmations sent
+	BitErrors      int64
+	ScheduledHolds int64 // packets delayed by receiver scheduling / wb split
+}
+
+// TransmissionProbability reports attempts per node per slot for a lane,
+// the x-axis of Figure 9.
+func (s *Stats) TransmissionProbability(l Lane) float64 {
+	if s.SlotsObserved[l] == 0 {
+		return 0
+	}
+	return float64(s.Attempts[l]) / float64(s.SlotsObserved[l])
+}
+
+// CollisionRate reports the fraction of attempts that collided, the
+// y-axis of Figure 9.
+func (s *Stats) CollisionRate(l Lane) float64 {
+	if s.Attempts[l] == 0 {
+		return 0
+	}
+	return float64(s.Collided[l]) / float64(s.Attempts[l])
+}
+
+// Network is the FSOI interconnect.
+type Network struct {
+	cfg       Config
+	engine    *sim.Engine
+	rng       *sim.RNG
+	deliverFn noc.DeliveryFunc
+	confirmFn ConfirmFunc
+	bitFn     BitFunc
+	lat       noc.LatencyStats
+	stats     Stats
+	nodes     []*nodeState
+	slots     map[slotKey][]*transmission
+	conf      *confLane
+	ber       float64 // per-bit error probability on the signaling chain
+}
+
+// New builds an FSOI network over the engine; it panics on an invalid
+// configuration (configs are produced by code, not user input).
+func New(cfg Config, engine *sim.Engine, rng *sim.RNG) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		cfg:    cfg,
+		engine: engine,
+		rng:    rng.NewStream("fsoi"),
+		slots:  make(map[slotKey][]*transmission),
+		conf:   newConfLane(cfg.Nodes, cfg.BitsPerCycle),
+		ber:    1e-10,
+	}
+	n.nodes = make([]*nodeState, cfg.Nodes)
+	for i := range n.nodes {
+		n.nodes[i] = &nodeState{
+			notBefore: make(map[*noc.Packet]sim.Cycle),
+			reserved:  make(map[int64]int),
+			expecting: make(map[int][]sim.Cycle),
+			replyEWMA: 30,
+		}
+		for l := range n.nodes[i].lastDst {
+			n.nodes[i].lastDst[l] = -1
+		}
+	}
+	return n
+}
+
+// SetBitErrorRate overrides the default 1e-10 signaling BER; §4.3.1
+// argues the collision mechanism lets BER relax to ~1e-5 with no
+// tangible performance impact, which the failure-injection tests verify.
+func (n *Network) SetBitErrorRate(ber float64) { n.ber = ber }
+
+// Name identifies the configuration.
+func (n *Network) Name() string { return "fsoi" }
+
+// LatencyStats exposes the per-packet latency measurements.
+func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// Stats exposes FSOI-specific counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// SetDelivery installs the destination callback.
+func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
+
+// SetConfirmDelivery installs the sender-side confirmation callback used
+// for point-to-point ordering and ack elision.
+func (n *Network) SetConfirmDelivery(fn ConfirmFunc) { n.confirmFn = fn }
+
+// SetBitDelivery installs the boolean-subscription callback.
+func (n *Network) SetBitDelivery(fn BitFunc) { n.bitFn = fn }
+
+// SupportsConfirmation reports that this network confirms clean packet
+// receipt in hardware, enabling ack elision.
+func (n *Network) SupportsConfirmation() bool { return n.cfg.Opt.AckElision }
+
+// SupportsBooleanSubscription reports mini-cycle boolean updates.
+func (n *Network) SupportsBooleanSubscription() bool {
+	return n.cfg.Opt.BooleanSubscription
+}
+
+// laneFor classifies a packet onto its lane.
+func laneFor(p *noc.Packet) Lane {
+	if p.Type == noc.Data {
+		return LaneData
+	}
+	return LaneMeta
+}
+
+// Send enqueues a packet on its lane's outgoing queue.
+func (n *Network) Send(p *noc.Packet) bool {
+	if p.Src == p.Dst {
+		// Same-node traffic short-circuits through the local port in one
+		// cycle; the optical layer is never involved, but the sender
+		// still sees a (trivially successful) confirmation.
+		p.Created = n.engine.Now()
+		p.NetworkDelay = 1
+		n.engine.After(1, func(now sim.Cycle) {
+			n.lat.Record(p)
+			if n.deliverFn != nil {
+				n.deliverFn(p, now)
+			}
+		})
+		n.engine.After(1+sim.Cycle(n.cfg.ConfirmDelay), func(now sim.Cycle) {
+			if n.confirmFn != nil {
+				n.confirmFn(p, now)
+			}
+		})
+		return true
+	}
+	lane := laneFor(p)
+	ns := n.nodes[p.Src]
+	if len(ns.queue[lane]) >= n.cfg.OutQueue {
+		return false
+	}
+	p.Created = n.engine.Now()
+	n.schedulePacket(ns, p, lane)
+	ns.queue[lane] = append(ns.queue[lane], p)
+	return true
+}
+
+// schedulePacket applies the §5.2 scheduling optimizations, possibly
+// recording a not-before cycle for the packet.
+func (n *Network) schedulePacket(ns *nodeState, p *noc.Packet, lane Lane) {
+	now := n.engine.Now()
+	dataSlot := int64(n.cfg.SlotCycles(LaneData))
+	switch {
+	case lane == LaneMeta && p.ExpectsDataReply && n.cfg.Opt.ReceiverScheduling:
+		// Reserve the most likely reply slot at our own receiver; if it
+		// is taken, delay the request until the estimate lands free.
+		est := int64(now) + int64(ns.replyEWMA)
+		slot := est / dataSlot
+		hold := sim.Cycle(0)
+		for i := 0; ns.reserved[slot] > 0 && i < 4; i++ {
+			slot++
+			hold += sim.Cycle(dataSlot)
+		}
+		ns.reserved[slot]++
+		n.expireReservation(ns, slot)
+		if hold > 0 {
+			ns.notBefore[p] = now + hold
+			n.stats.ScheduledHolds++
+		}
+		ns.expecting[p.Dst] = append(ns.expecting[p.Dst], now)
+	case lane == LaneData && p.IsWriteback && n.cfg.Opt.WritebackSplit:
+		// Split transaction: announce the writeback and land it in a
+		// free slot at the home node. The 2-cycle announce ride is the
+		// handshake cost.
+		home := n.nodes[p.Dst]
+		slot := (int64(now)+int64(n.cfg.ConfirmDelay))/dataSlot + 1
+		hold := sim.Cycle(n.cfg.ConfirmDelay)
+		for i := 0; home.reserved[slot] > 0 && i < 4; i++ {
+			slot++
+			hold += sim.Cycle(dataSlot)
+		}
+		home.reserved[slot]++
+		n.expireReservation(home, slot)
+		ns.notBefore[p] = now + hold
+		n.stats.ScheduledHolds++
+	}
+}
+
+// expireReservation drops a reservation shortly after its slot passes.
+func (n *Network) expireReservation(ns *nodeState, slot int64) {
+	dataSlot := int64(n.cfg.SlotCycles(LaneData))
+	end := sim.Cycle((slot + 2) * dataSlot)
+	if end <= n.engine.Now() {
+		end = n.engine.Now() + 1
+	}
+	n.engine.At(end, func(sim.Cycle) {
+		if ns.reserved[slot] > 0 {
+			ns.reserved[slot]--
+			if ns.reserved[slot] == 0 {
+				delete(ns.reserved, slot)
+			}
+		}
+	})
+}
+
+// SendConfirmBit transmits one boolean over a reserved confirmation
+// mini-cycle (§5.1): the sender's confirmation lane carries the bit at
+// the subscriber's reserved offset, arriving after the confirmation
+// delay plus any mini-cycle queueing (essentially never, at 12 minis per
+// cycle — but measured, not assumed).
+func (n *Network) SendConfirmBit(src, dst int, tag uint64, value bool) {
+	n.stats.ConfirmBits++
+	n.conf.reserve(src, dst)
+	extra := n.conf.sendDelay(src, n.engine.Now(), 1)
+	n.engine.After(sim.Cycle(n.cfg.ConfirmDelay)+extra, func(now sim.Cycle) {
+		if n.bitFn != nil {
+			n.bitFn(src, dst, tag, value, now)
+		}
+	})
+}
+
+// ConfirmationUtilization reports the confirmation lane's mini-cycle
+// occupancy so far.
+func (n *Network) ConfirmationUtilization() float64 {
+	return n.conf.Utilization(n.engine.Now(), n.cfg.Nodes)
+}
+
+// Tick advances the network one cycle: at slot boundaries each node's
+// lane serializers pick their next transmission.
+func (n *Network) Tick(now sim.Cycle) {
+	for l := Lane(0); l < numLanes; l++ {
+		slotLen := int64(n.cfg.SlotCycles(l))
+		if int64(now)%slotLen != 0 {
+			continue
+		}
+		slot := int64(now) / slotLen
+		for id, ns := range n.nodes {
+			n.stats.SlotsObserved[l]++
+			n.startSlot(id, ns, l, slot, now)
+		}
+	}
+}
+
+// startSlot picks at most one transmission for node id on lane l in the
+// slot beginning now: a hint winner first, then due retries, then the
+// first eligible queued packet.
+func (n *Network) startSlot(id int, ns *nodeState, l Lane, slot int64, now sim.Cycle) {
+	// Hint winners get the slot unconditionally.
+	for i, tx := range ns.retries[l] {
+		if tx.winner && tx.retrySlot <= slot {
+			ns.retries[l] = append(ns.retries[l][:i], ns.retries[l][i+1:]...)
+			n.transmit(id, ns, tx, l, slot, now)
+			return
+		}
+	}
+	// Earliest-due retry next.
+	best := -1
+	for i, tx := range ns.retries[l] {
+		if tx.retrySlot <= slot && (best < 0 || tx.retrySlot < ns.retries[l][best].retrySlot) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		tx := ns.retries[l][best]
+		ns.retries[l] = append(ns.retries[l][:best], ns.retries[l][best+1:]...)
+		n.transmit(id, ns, tx, l, slot, now)
+		return
+	}
+	// Fresh packet from the queue, respecting scheduling holds. A held
+	// packet blocks only packets to the same destination, preserving
+	// point-to-point order.
+	blocked := make(map[int]bool)
+	for i, p := range ns.queue[l] {
+		nb, held := ns.notBefore[p]
+		if held && nb > now {
+			blocked[p.Dst] = true
+			continue
+		}
+		if blocked[p.Dst] {
+			continue
+		}
+		ns.queue[l] = append(ns.queue[l][:i], ns.queue[l][i+1:]...)
+		delete(ns.notBefore, p)
+		tx := &transmission{pkt: p, src: id, readyCycle: now}
+		// Split the wait between intentional scheduling (the hold we
+		// installed) and plain queuing.
+		wait := int64(now - p.Created)
+		if held {
+			hold := int64(nb - p.Created)
+			if hold > wait {
+				hold = wait
+			}
+			p.SchedulingDelay = hold
+			p.QueuingDelay = wait - hold
+		} else {
+			p.QueuingDelay = wait
+		}
+		n.transmit(id, ns, tx, l, slot, now)
+		return
+	}
+}
+
+// transmit registers a transmission in its receiver's slot group.
+func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot int64, now sim.Cycle) {
+	p := tx.pkt
+	tx.steerExtra = 0
+	if n.cfg.PhaseArray && ns.lastDst[l] != p.Dst {
+		tx.steerExtra = n.cfg.PhaseSetup
+		ns.lastDst[l] = p.Dst
+	}
+	rcv := id % n.cfg.Receivers
+	key := slotKey{dst: p.Dst, lane: l, rcv: rcv, slot: slot}
+	group, existed := n.slots[key]
+	n.slots[key] = append(group, tx)
+	n.stats.Attempts[l]++
+	if !existed {
+		slotEnd := sim.Cycle((slot + 1) * int64(n.cfg.SlotCycles(l)))
+		n.engine.At(slotEnd, func(at sim.Cycle) {
+			n.resolve(key, at)
+		})
+	}
+}
+
+// resolve adjudicates one receiver slot at its end: a single uncorrupted
+// transmission is delivered and confirmed; anything else collides.
+func (n *Network) resolve(key slotKey, now sim.Cycle) {
+	group := n.slots[key]
+	delete(n.slots, key)
+	if len(group) == 0 {
+		return
+	}
+	l := key.lane
+	if len(group) == 1 {
+		tx := group[0]
+		// Independent bit errors corrupt the packet with probability
+		// ~bits*BER; an error looks exactly like a collision to the
+		// sender (no confirmation) and is retried the same way.
+		if n.ber > 0 && n.rng.Bool(1-math.Pow(1-n.ber, float64(tx.pkt.Type.Bits()))) {
+			n.stats.BitErrors++
+			tx.attempt++
+			tx.pkt.Retries++
+			if tx.firstSlotEnd == 0 {
+				tx.firstSlotEnd = now
+			}
+			n.backoff(tx, key.slot, now, false)
+			return
+		}
+		n.deliverClean(tx, l, now)
+		return
+	}
+	// Collision: the receiver sees the OR of the beams; PID/~PID headers
+	// disagree, so everyone involved must retry.
+	n.stats.Collisions[l]++
+	n.stats.Collided[l] += int64(len(group))
+	if l == LaneData {
+		n.stats.DataByKind[classify(group)]++
+	}
+	winnerPicked := false
+	if l == LaneData && n.cfg.Opt.RetransmitHints {
+		winnerPicked = n.issueHint(key.dst, group)
+	}
+	for _, tx := range group {
+		tx.attempt++
+		tx.pkt.Retries++
+		if tx.firstSlotEnd == 0 {
+			tx.firstSlotEnd = now
+		}
+		n.backoff(tx, key.slot, now, winnerPicked && tx.winner)
+	}
+}
+
+// classify maps a data-lane collision to its Figure 10 kind.
+func classify(group []*transmission) CollisionKind {
+	anyRetry, anyWB, anyMem := false, false, false
+	for _, tx := range group {
+		if tx.attempt > 0 {
+			anyRetry = true
+		}
+		if tx.pkt.IsWriteback {
+			anyWB = true
+		}
+		if tx.pkt.IsMemory {
+			anyMem = true
+		}
+	}
+	switch {
+	case anyRetry:
+		return CollisionRetransmission
+	case anyWB:
+		return CollisionWriteback
+	case anyMem:
+		return CollisionMemory
+	default:
+		return CollisionReply
+	}
+}
+
+// issueHint has the colliding receiver guess one sender from the
+// corrupted PID pattern and its outstanding-reply knowledge, and beam a
+// winner notification through the confirmation laser. It reports whether
+// a true participant was selected.
+func (n *Network) issueHint(dst int, group []*transmission) bool {
+	n.stats.HintsIssued++
+	if !n.rng.Bool(n.cfg.HintAccuracy) {
+		// Mis-identification: usually harmless (a node not transmitting
+		// ignores the hint), occasionally a wrong node believes it won
+		// and retries immediately, which we model as no winner plus a
+		// chance of an extra immediate contender.
+		if n.rng.Bool(n.cfg.WrongWinner / (1 - n.cfg.HintAccuracy)) {
+			n.stats.HintsWrong++
+		}
+		return false
+	}
+	n.stats.HintsCorrect++
+	// Prefer the longest-suffering contender (the receiver knows who has
+	// been retrying at it), breaking ties randomly so no sender starves.
+	pick := group[n.rng.Intn(len(group))]
+	for _, tx := range group {
+		if tx.attempt > pick.attempt {
+			pick = tx
+		}
+	}
+	pick.winner = true
+	return true
+}
+
+// backoff schedules a retransmission. The sender learns of the failure
+// when the confirmation fails to arrive (slot end + ConfirmDelay); a hint
+// winner goes in the very next slot, everyone else draws from the
+// exponential window starting at the slot after next.
+func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner bool) {
+	ns := n.nodes[tx.src]
+	l := laneFor(tx.pkt)
+	if isWinner {
+		tx.retrySlot = slot + 1
+		ns.retries[l] = append(ns.retries[l], tx)
+		return
+	}
+	tx.winner = false
+	w := n.cfg.WindowW * math.Pow(n.cfg.BackoffB, float64(tx.attempt-1))
+	if w < 1 {
+		w = 1
+	}
+	// Guard rail: past ~60 retries the exponential window would dwarf any
+	// useful timescale; saturating it keeps worst-case delay bounded
+	// without affecting the common case the paper optimizes.
+	if w > 256 {
+		w = 256
+	}
+	d := int64(math.Ceil(n.rng.Float64() * w))
+	if d < 1 {
+		d = 1
+	}
+	base := slot + 1
+	if l == LaneData && n.cfg.Opt.RetransmitHints {
+		// Losers leave the next slot to the winner.
+		base = slot + 2
+	}
+	tx.retrySlot = base + d - 1
+	ns.retries[l] = append(ns.retries[l], tx)
+}
+
+// deliverClean completes a successful transmission: payload delivery at
+// slot end (plus any steering pipeline), confirmation at +ConfirmDelay.
+func (n *Network) deliverClean(tx *transmission, l Lane, now sim.Cycle) {
+	p := tx.pkt
+	slotLen := int64(n.cfg.SlotCycles(l))
+	p.NetworkDelay = slotLen + int64(tx.steerExtra)
+	if tx.firstSlotEnd != 0 {
+		p.ResolutionDelay = int64(now - tx.firstSlotEnd)
+	}
+	n.stats.Delivered[l]++
+	deliverAt := now + sim.Cycle(tx.steerExtra)
+	n.engine.At(deliverAt, func(at sim.Cycle) {
+		n.lat.Record(p)
+		n.noteReplyArrival(p, at)
+		if n.deliverFn != nil {
+			n.deliverFn(p, at)
+		}
+	})
+	n.stats.ConfirmSignals++
+	// The receipt confirmation occupies the receiver node's confirmation
+	// lane; its header-sized payload is a handful of mini-cycles.
+	extra := n.conf.sendDelay(p.Dst, deliverAt, 4)
+	n.engine.At(deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+extra, func(at sim.Cycle) {
+		if n.confirmFn != nil {
+			n.confirmFn(p, at)
+		}
+	})
+}
+
+// noteReplyArrival updates the requester's reply-latency estimate used by
+// receiver scheduling.
+func (n *Network) noteReplyArrival(p *noc.Packet, now sim.Cycle) {
+	if !p.IsReply {
+		return
+	}
+	ns := n.nodes[p.Dst]
+	pend := ns.expecting[p.Src]
+	if len(pend) == 0 {
+		return
+	}
+	sent := pend[0]
+	ns.expecting[p.Src] = pend[1:]
+	obs := float64(now - sent)
+	ns.replyEWMA = 0.875*ns.replyEWMA + 0.125*obs
+}

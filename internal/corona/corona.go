@@ -1,0 +1,176 @@
+// Package corona models a Corona-style nanophotonic crossbar (Vantrease
+// et al., ISCA 2008) as the related-work baseline of §7.1: every
+// destination owns a WDM channel on a shared waveguide, and senders
+// arbitrate for it with an optical token that circulates at light speed.
+// There is no packet switching and no collision — the cost is the token
+// wait plus channel serialization.
+//
+// The paper reports FSOI about 1.06x faster than a corona-style design in
+// the 64-way system; this model captures the arbitration latency that
+// drives the gap.
+package corona
+
+import (
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+)
+
+// Config parameterizes the crossbar.
+type Config struct {
+	Nodes int
+	// TokenRoundTrip is the time for a channel's token to circulate the
+	// full ring, in core cycles (Corona's waveguide loops the die).
+	TokenRoundTrip float64
+	// MetaCycles / DataCycles are the channel serialization times.
+	MetaCycles int
+	DataCycles int
+	// FlightCycles is the propagation delay after grant.
+	FlightCycles int
+	InjectQueue  int
+}
+
+// PaperCorona returns a 64-node configuration with bandwidth comparable
+// to the FSOI lanes.
+func PaperCorona(nodes int) Config {
+	return Config{
+		Nodes:          nodes,
+		TokenRoundTrip: 8,
+		MetaCycles:     2,
+		DataCycles:     5,
+		FlightCycles:   1,
+		InjectQueue:    16,
+	}
+}
+
+// channel is the per-destination shared medium.
+type channel struct {
+	waiting  []*noc.Packet // FIFO per requesting order
+	busyTill sim.Cycle
+	armed    bool // a grant event is scheduled
+}
+
+// Network is the token-arbitrated crossbar.
+type Network struct {
+	cfg       Config
+	engine    *sim.Engine
+	deliverFn noc.DeliveryFunc
+	lat       noc.LatencyStats
+	channels  []*channel
+	queued    []int // per-node injected count (for queue bound)
+	TokenWait stats
+}
+
+// stats is a tiny mean accumulator for token waits.
+type stats struct {
+	n   int64
+	sum float64
+}
+
+// Mean reports the average token wait in cycles.
+func (s stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// New builds the crossbar.
+func New(cfg Config, engine *sim.Engine) *Network {
+	n := &Network{cfg: cfg, engine: engine}
+	n.channels = make([]*channel, cfg.Nodes)
+	for i := range n.channels {
+		n.channels[i] = &channel{}
+	}
+	n.queued = make([]int, cfg.Nodes)
+	return n
+}
+
+// Name identifies the configuration.
+func (n *Network) Name() string { return "corona" }
+
+// LatencyStats exposes accumulated measurements.
+func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// SetDelivery installs the destination callback.
+func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
+
+// tokenRate returns token positions advanced per cycle.
+func (n *Network) tokenRate() float64 {
+	return float64(n.cfg.Nodes) / n.cfg.TokenRoundTrip
+}
+
+// tokenWait returns the cycles until the token of channel dst reaches
+// node src, at or after cycle t.
+func (n *Network) tokenWait(src, dst int, t sim.Cycle) float64 {
+	rate := n.tokenRate()
+	pos := float64(t) * rate
+	cur := int(pos) % n.cfg.Nodes
+	dist := (src - cur + n.cfg.Nodes) % n.cfg.Nodes
+	return float64(dist) / rate
+}
+
+// Send enqueues a packet; arbitration is event-driven per channel.
+func (n *Network) Send(p *noc.Packet) bool {
+	if n.queued[p.Src] >= n.cfg.InjectQueue {
+		return false
+	}
+	n.queued[p.Src]++
+	p.Created = n.engine.Now()
+	ch := n.channels[p.Dst]
+	ch.waiting = append(ch.waiting, p)
+	n.arm(p.Dst)
+	return true
+}
+
+// arm schedules the next grant on channel dst if not already pending.
+func (n *Network) arm(dst int) {
+	ch := n.channels[dst]
+	if ch.armed || len(ch.waiting) == 0 {
+		return
+	}
+	now := n.engine.Now()
+	start := ch.busyTill
+	if start < now {
+		start = now
+	}
+	// The oldest waiter grabs the token when it next passes its station.
+	p := ch.waiting[0]
+	wait := n.tokenWait(p.Src, dst, start)
+	n.TokenWait.n++
+	n.TokenWait.sum += wait
+	grant := start + sim.Cycle(wait+0.9999)
+	ch.armed = true
+	n.engine.At(grant, func(at sim.Cycle) {
+		ch.armed = false
+		n.grant(dst, at)
+	})
+}
+
+// grant transmits the head packet on channel dst.
+func (n *Network) grant(dst int, now sim.Cycle) {
+	ch := n.channels[dst]
+	if len(ch.waiting) == 0 {
+		return
+	}
+	p := ch.waiting[0]
+	ch.waiting = ch.waiting[1:]
+	ser := n.cfg.MetaCycles
+	if p.Type == noc.Data {
+		ser = n.cfg.DataCycles
+	}
+	ch.busyTill = now + sim.Cycle(ser)
+	p.QueuingDelay = int64(now - p.Created)
+	p.NetworkDelay = int64(ser + n.cfg.FlightCycles)
+	done := ch.busyTill + sim.Cycle(n.cfg.FlightCycles)
+	n.queued[p.Src]--
+	n.engine.At(done, func(at sim.Cycle) {
+		n.lat.Record(p)
+		if n.deliverFn != nil {
+			n.deliverFn(p, at)
+		}
+	})
+	n.arm(dst)
+}
+
+// Tick is a no-op; the crossbar is fully event-driven.
+func (n *Network) Tick(now sim.Cycle) {}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns the cheapest possible options for registry smoke tests.
+func tiny() Options {
+	return Options{Scale: 0.02, Seed: 1, Trials: 300, Apps: []string{"jacobi"}}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, e := range Registry {
+		r, ok := Lookup(e.ID)
+		if !ok || r == nil {
+			t.Fatalf("Lookup(%s) failed", e.ID)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Fatal("unknown ids must not resolve")
+	}
+	if len(IDs()) != len(Registry) {
+		t.Fatal("IDs() must cover the registry")
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	res := Table1(tiny())
+	if res.Values["path_loss_db"] < 2 || res.Values["path_loss_db"] > 3.5 {
+		t.Fatalf("path loss %.2f dB", res.Values["path_loss_db"])
+	}
+	if res.Values["bits_per_cyc"] != 12 {
+		t.Fatal("12 line bits per core cycle expected")
+	}
+	if !strings.Contains(res.Text, "path loss") {
+		t.Fatal("text missing")
+	}
+}
+
+func TestFig3Monotonic(t *testing.T) {
+	res := Fig3(tiny())
+	// More receivers, fewer collisions at fixed p.
+	if res.Values["p0.20_r1"] <= res.Values["p0.20_r2"] {
+		t.Fatal("R=1 must collide more than R=2")
+	}
+	if res.Values["p0.01_r2"] >= res.Values["p0.33_r2"] {
+		t.Fatal("collision probability must grow with p")
+	}
+}
+
+func TestFig4FindsGentleBackoff(t *testing.T) {
+	o := tiny()
+	o.Trials = 3000
+	res := Fig4(o)
+	if res.Values["opt_b_g1"] > 1.5 {
+		t.Fatalf("optimal B %.2f; small bases should win", res.Values["opt_b_g1"])
+	}
+	if res.Values["opt_delay_g1"] <= 0 {
+		t.Fatal("optimum delay must be positive")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	o := tiny()
+	o.Scale = 0.05
+	res := Fig5(o)
+	if res.Values["mode_frac"] <= 0.04 {
+		t.Fatalf("reply latency should concentrate (mode frac %.2f)", res.Values["mode_frac"])
+	}
+	if res.Values["mean"] <= 0 {
+		t.Fatal("mean must be positive")
+	}
+}
+
+func TestFig6Ordering(t *testing.T) {
+	res := Fig6(tiny())
+	fsoi := res.Values["geomean_fsoi"]
+	l0 := res.Values["geomean_L0"]
+	lr2 := res.Values["geomean_Lr2"]
+	if fsoi <= 0.9 {
+		t.Fatalf("FSOI geomean %.3f; must not lose badly to mesh", fsoi)
+	}
+	if l0 < lr2*0.93 {
+		t.Fatalf("L0 (%.3f) must not lose badly to Lr2 (%.3f)", l0, lr2)
+	}
+}
+
+func TestFig9ReducesCollisions(t *testing.T) {
+	o := tiny()
+	o.Scale = 0.05
+	res := Fig9(o)
+	if res.Values["collision_cut"] < -0.2 {
+		t.Fatalf("ack elision should not increase collisions markedly: %.2f", res.Values["collision_cut"])
+	}
+	if res.Values["traffic_cut"] <= 0 {
+		t.Fatal("ack elision must remove some meta packets")
+	}
+}
+
+func TestLLSCNotHarmful(t *testing.T) {
+	res := LLSC(tiny())
+	if res.Values["speedup"] < 0.9 {
+		t.Fatalf("confirmation-channel sync should not slow things: %.3f", res.Values["speedup"])
+	}
+}
+
+func TestBenchOptionsAreCheap(t *testing.T) {
+	o := BenchOptions()
+	if o.Scale > 0.1 || len(o.Apps) == 0 {
+		t.Fatal("bench options must stay small")
+	}
+}

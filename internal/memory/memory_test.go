@@ -1,0 +1,131 @@
+package memory
+
+import (
+	"testing"
+
+	"fsoi/internal/coherence"
+	"fsoi/internal/sim"
+)
+
+func TestLineOccupancy(t *testing.T) {
+	// 8.8 GB/s over 4 channels at 3.3 GHz: 2.2 GB/s per channel =
+	// 0.667 B/cycle, so a 64 B line occupies ~96 cycles.
+	c := PaperMemory(4)
+	occ := c.LineOccupancyCycles()
+	if occ < 90 || occ > 102 {
+		t.Fatalf("occupancy = %d cycles, want ~96", occ)
+	}
+	// Table 4's 52.8 GB/s is 6x faster.
+	c.TotalGBps = 52.8
+	if fast := c.LineOccupancyCycles(); fast < 14 || fast > 18 {
+		t.Fatalf("fast occupancy = %d cycles, want ~16", fast)
+	}
+}
+
+func TestAttachNodes(t *testing.T) {
+	n4 := AttachNodes(4, 4)
+	if len(n4) != 4 {
+		t.Fatalf("want 4 attach points, got %v", n4)
+	}
+	want := map[int]bool{0: true, 3: true, 12: true, 15: true}
+	for _, n := range n4 {
+		if !want[n] {
+			t.Fatalf("channel at node %d is not a corner of the 4x4 mesh", n)
+		}
+	}
+	n8 := AttachNodes(8, 8)
+	if len(n8) != 8 {
+		t.Fatalf("want 8 attach points, got %v", n8)
+	}
+	for _, n := range n8 {
+		if n < 0 || n >= 64 {
+			t.Fatalf("attach node %d out of range", n)
+		}
+	}
+}
+
+// collect runs a controller and gathers replies.
+func collect(t *testing.T, cfg Config, reqs []coherence.Msg) ([]coherence.Msg, *Controller, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	var replies []coherence.Msg
+	ctl := NewController(0, cfg, engine, func(m coherence.Msg) {
+		replies = append(replies, m)
+	})
+	for _, m := range reqs {
+		m := m
+		engine.At(0, func(now sim.Cycle) { ctl.Handle(m, now) })
+	}
+	engine.Run(sim.Cycle(cfg.LatencyCycles) + 50*cfg.LineOccupancyCycles())
+	return replies, ctl, engine
+}
+
+func TestReadRepliesWithData(t *testing.T) {
+	cfg := PaperMemory(4)
+	replies, _, _ := collect(t, cfg, []coherence.Msg{
+		{Type: coherence.ReqMem, Addr: 7, From: 3, To: 0},
+	})
+	if len(replies) != 1 {
+		t.Fatalf("want 1 reply, got %d", len(replies))
+	}
+	r := replies[0]
+	if r.Type != coherence.MemAck || !r.HasData || r.To != 3 || r.Addr != 7 {
+		t.Fatalf("reply: %+v", r)
+	}
+}
+
+func TestWriteIsSilent(t *testing.T) {
+	cfg := PaperMemory(4)
+	replies, ctl, _ := collect(t, cfg, []coherence.Msg{
+		{Type: coherence.MemWrite, Addr: 7, From: 3, To: 0, HasData: true},
+	})
+	if len(replies) != 0 {
+		t.Fatalf("writes must not reply: %+v", replies)
+	}
+	if ctl.Stats().Writes != 1 {
+		t.Fatal("write not counted")
+	}
+}
+
+func TestBandwidthSerializesRequests(t *testing.T) {
+	cfg := PaperMemory(4)
+	var reqs []coherence.Msg
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, coherence.Msg{Type: coherence.ReqMem, Addr: 7, From: 1, To: 0})
+	}
+	_, ctl, _ := collect(t, cfg, reqs)
+	if ctl.Stats().Reads != 4 {
+		t.Fatalf("reads = %d", ctl.Stats().Reads)
+	}
+	// The 2nd..4th requests must have queued behind channel occupancy.
+	if ctl.Stats().QueueWait.Max() < float64(cfg.LineOccupancyCycles()) {
+		t.Fatalf("max queue wait %.0f; requests should have serialized", ctl.Stats().QueueWait.Max())
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	cfg := PaperMemory(4)
+	engine := sim.NewEngine()
+	var replyAt sim.Cycle = -1
+	ctl := NewController(0, cfg, engine, func(m coherence.Msg) { replyAt = engine.Now() })
+	engine.At(0, func(now sim.Cycle) {
+		ctl.Handle(coherence.Msg{Type: coherence.ReqMem, Addr: 1, From: 0, To: 0}, now)
+	})
+	engine.Run(1000)
+	min := sim.Cycle(cfg.LatencyCycles)
+	if replyAt < min {
+		t.Fatalf("reply at %d, before the %d-cycle access latency", replyAt, min)
+	}
+}
+
+func TestUnknownMessagePanics(t *testing.T) {
+	cfg := PaperMemory(4)
+	engine := sim.NewEngine()
+	ctl := NewController(0, cfg, engine, func(coherence.Msg) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-memory messages must panic")
+		}
+	}()
+	ctl.Handle(coherence.Msg{Type: coherence.ReqSh}, 0)
+}

@@ -1,0 +1,106 @@
+package mesh
+
+import (
+	"fmt"
+
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+)
+
+// Ideal models the contention-free comparison networks of §7.1:
+//
+//   - L0: a packet experiences only source queuing plus serialization
+//     (1 cycle for meta, 5 for data) — an idealized interconnect.
+//   - Lr1/Lr2: L0 plus, per mesh hop, 1 cycle of link traversal and
+//     RouterCycles (1 or 2) of router processing, with no contention or
+//     queuing inside the network.
+type Ideal struct {
+	dim          int
+	routerCycles int // per-hop router cycles; < 0 selects pure L0
+	linkCycles   int
+	injectQueue  int
+	engine       *sim.Engine
+	deliverFn    noc.DeliveryFunc
+	lat          noc.LatencyStats
+
+	queues   [][]*noc.Packet
+	busyTill []sim.Cycle // per-node serializer availability
+}
+
+// NewL0 builds the idealized zero-latency network.
+func NewL0(dim int, engine *sim.Engine) *Ideal {
+	return &Ideal{dim: dim, routerCycles: -1, linkCycles: 0, injectQueue: 16, engine: engine,
+		queues: make([][]*noc.Packet, dim*dim), busyTill: make([]sim.Cycle, dim*dim)}
+}
+
+// NewLr builds the hop-latency network with the given per-hop router
+// cycles (1 => Lr1, 2 => Lr2).
+func NewLr(dim, routerCycles int, engine *sim.Engine) *Ideal {
+	return &Ideal{dim: dim, routerCycles: routerCycles, linkCycles: 1, injectQueue: 16, engine: engine,
+		queues: make([][]*noc.Packet, dim*dim), busyTill: make([]sim.Cycle, dim*dim)}
+}
+
+// Name identifies the configuration.
+func (n *Ideal) Name() string {
+	if n.routerCycles < 0 {
+		return "L0"
+	}
+	return fmt.Sprintf("Lr%d", n.routerCycles)
+}
+
+// LatencyStats exposes accumulated measurements.
+func (n *Ideal) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// SetDelivery installs the destination callback.
+func (n *Ideal) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
+
+// Send enqueues a packet at its source NIC.
+func (n *Ideal) Send(p *noc.Packet) bool {
+	if len(n.queues[p.Src]) >= n.injectQueue {
+		return false
+	}
+	p.Created = n.engine.Now()
+	n.queues[p.Src] = append(n.queues[p.Src], p)
+	return true
+}
+
+// hops returns the Manhattan distance between two nodes.
+func (n *Ideal) hops(a, b int) int {
+	ax, ay := a%n.dim, a/n.dim
+	bx, by := b%n.dim, b/n.dim
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Tick serializes at most one packet start per node per cycle and
+// schedules its contention-free delivery.
+func (n *Ideal) Tick(now sim.Cycle) {
+	for node := range n.queues {
+		if len(n.queues[node]) == 0 || n.busyTill[node] > now {
+			continue
+		}
+		p := n.queues[node][0]
+		n.queues[node] = n.queues[node][1:]
+		ser := sim.Cycle(p.Type.Flits())
+		n.busyTill[node] = now + ser
+		p.QueuingDelay = int64(now - p.Created)
+		network := ser
+		if n.routerCycles >= 0 {
+			h := n.hops(p.Src, p.Dst)
+			network += sim.Cycle(h * (n.linkCycles + n.routerCycles))
+		}
+		p.NetworkDelay = int64(network)
+		n.engine.At(now+network, func(at sim.Cycle) {
+			n.lat.Record(p)
+			if n.deliverFn != nil {
+				n.deliverFn(p, at)
+			}
+		})
+	}
+}

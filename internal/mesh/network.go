@@ -1,0 +1,226 @@
+package mesh
+
+import (
+	"fmt"
+
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+)
+
+// Config parameterizes the mesh baseline.
+type Config struct {
+	Dim          int // nodes per edge (4 => 16 nodes)
+	VCs          int // virtual channels per input port (Table 3: 4)
+	BufferFlits  int // buffer depth per input VC, flits (Table 3: 12)
+	RouterCycles int // router pipeline depth (baseline: 4)
+	LinkCycles   int // link traversal (1)
+	InjectQueue  int // packets buffered at the source NIC
+	// BandwidthFrac (0 < f <= 1, default 1) throttles injection to model
+	// the Figure 11 bandwidth sweep: narrower channels inject flits at a
+	// fractional rate.
+	BandwidthFrac float64
+}
+
+// PaperMesh returns the baseline configuration of Table 3.
+func PaperMesh(dim int) Config {
+	return Config{Dim: dim, VCs: 4, BufferFlits: 12, RouterCycles: 4, LinkCycles: 1, InjectQueue: 16}
+}
+
+// Network is a full contention-modeled 2-D mesh.
+type Network struct {
+	cfg       Config
+	engine    *sim.Engine
+	routers   []*router
+	deliverFn noc.DeliveryFunc
+	lat       noc.LatencyStats
+
+	// Per-node injection state.
+	queues    [][]*noc.Packet
+	inflight  []*injection
+	vcFree    [][]bool  // whether local input VC v of node i is free for a new packet
+	vcCredits [][]int   // credits toward local input VC buffers
+	flitHops  int64     // flits x hops, for Orion-style energy accounting
+	bwTokens  []float64 // fractional-bandwidth injection credits
+}
+
+// FlitHops reports accumulated flit-hop activity (router traversals
+// including the ejection hop).
+func (n *Network) FlitHops() int64 { return n.flitHops }
+
+// injection tracks a packet mid-serialization into the local port.
+type injection struct {
+	pkt      *noc.Packet
+	vc       int
+	sentFlit int
+	start    sim.Cycle
+}
+
+// New builds a mesh network over the engine.
+func New(cfg Config, engine *sim.Engine) *Network {
+	n := &Network{cfg: cfg, engine: engine}
+	count := cfg.Dim * cfg.Dim
+	n.routers = make([]*router, count)
+	for i := range n.routers {
+		n.routers[i] = newRouter(i, cfg, n)
+	}
+	dim := cfg.Dim
+	for i, r := range n.routers {
+		x, y := i%dim, i/dim
+		connect := func(port int, nx, ny int) {
+			if nx < 0 || nx >= dim || ny < 0 || ny >= dim {
+				return
+			}
+			r.neighbor[port] = n.routers[ny*dim+nx]
+		}
+		connect(portEast, x+1, y)
+		connect(portWest, x-1, y)
+		connect(portSouth, x, y+1)
+		connect(portNorth, x, y-1)
+		// reverse port mapping: east<->west, north<->south.
+		r.reverse[portEast] = portWest
+		r.reverse[portWest] = portEast
+		r.reverse[portNorth] = portSouth
+		r.reverse[portSouth] = portNorth
+		r.reverse[portLocal] = portLocal
+	}
+	if n.cfg.BandwidthFrac <= 0 || n.cfg.BandwidthFrac > 1 {
+		n.cfg.BandwidthFrac = 1
+	}
+	n.bwTokens = make([]float64, count)
+	n.queues = make([][]*noc.Packet, count)
+	n.inflight = make([]*injection, count)
+	n.vcFree = make([][]bool, count)
+	n.vcCredits = make([][]int, count)
+	for i := 0; i < count; i++ {
+		n.vcFree[i] = make([]bool, cfg.VCs)
+		n.vcCredits[i] = make([]int, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			n.vcFree[i][v] = true
+			n.vcCredits[i][v] = cfg.BufferFlits
+		}
+	}
+	return n
+}
+
+// Name identifies the configuration.
+func (n *Network) Name() string { return fmt.Sprintf("mesh%d", n.cfg.RouterCycles) }
+
+// LatencyStats exposes accumulated measurements.
+func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// SetDelivery installs the destination callback.
+func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
+
+// Send enqueues a packet at its source NIC.
+func (n *Network) Send(p *noc.Packet) bool {
+	q := n.queues[p.Src]
+	if len(q) >= n.cfg.InjectQueue {
+		return false
+	}
+	p.Created = n.engine.Now()
+	n.queues[p.Src] = append(q, p)
+	return true
+}
+
+// Tick advances every router and the injection machinery one cycle.
+func (n *Network) Tick(now sim.Cycle) {
+	for i := range n.routers {
+		n.injectTick(i, now)
+	}
+	for _, r := range n.routers {
+		r.tick(now)
+	}
+}
+
+// injectTick pushes at most one flit of the node's current packet into
+// the router's local input port.
+func (n *Network) injectTick(node int, now sim.Cycle) {
+	if n.cfg.BandwidthFrac < 1 {
+		// A narrower channel stretches per-flit serialization (1/frac
+		// cycles per flit); the token bank is capped so idle periods do
+		// not accumulate burst credit.
+		n.bwTokens[node] += n.cfg.BandwidthFrac
+		if n.bwTokens[node] > 1 {
+			n.bwTokens[node] = 1
+		}
+		if n.bwTokens[node] < 1 {
+			return
+		}
+	}
+	inj := n.inflight[node]
+	if inj == nil {
+		if len(n.queues[node]) == 0 {
+			return
+		}
+		pkt := n.queues[node][0]
+		// Local delivery without entering the network still pays
+		// serialization through the local port, matching the baseline
+		// simulator's treatment of same-node traffic.
+		vc := -1
+		for v := 0; v < n.cfg.VCs; v++ {
+			if n.vcFree[node][v] && n.vcCredits[node][v] > 0 {
+				vc = v
+				break
+			}
+		}
+		if vc < 0 {
+			return
+		}
+		n.queues[node] = n.queues[node][1:]
+		n.vcFree[node][vc] = false
+		inj = &injection{pkt: pkt, vc: vc, start: now}
+		n.inflight[node] = inj
+		pkt.QueuingDelay = int64(now - pkt.Created)
+	}
+	if n.vcCredits[node][inj.vc] <= 0 {
+		return
+	}
+	flits := inj.pkt.Type.Flits()
+	f := flit{
+		pkt:  inj.pkt,
+		head: inj.sentFlit == 0,
+		tail: inj.sentFlit == flits-1,
+	}
+	n.vcCredits[node][inj.vc]--
+	n.routers[node].acceptFlit(portLocal, inj.vc, f, now)
+	if n.cfg.BandwidthFrac < 1 {
+		n.bwTokens[node]--
+	}
+	inj.sentFlit++
+	if inj.sentFlit == flits {
+		n.vcFree[node][inj.vc] = true
+		n.inflight[node] = nil
+	}
+}
+
+// injectCredit returns a local-port buffer slot for node's VC v.
+func (n *Network) injectCredit(node, v int) {
+	n.vcCredits[node][v]++
+}
+
+// deliver completes a packet at its destination.
+func (n *Network) deliver(p *noc.Packet, now sim.Cycle) {
+	p.NetworkDelay = int64(now-p.Created) - p.QueuingDelay
+	dim := n.cfg.Dim
+	dx := p.Src%dim - p.Dst%dim
+	dy := p.Src/dim - p.Dst/dim
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	n.flitHops += int64(p.Type.Flits() * (dx + dy + 1))
+	n.lat.Record(p)
+	if n.deliverFn != nil {
+		n.deliverFn(p, now)
+	}
+}
+
+// engineAt schedules a callback on the simulation engine.
+func (n *Network) engineAt(at sim.Cycle, fn func(now sim.Cycle)) {
+	n.engine.At(at, fn)
+}
+
+// NumNodes reports the node count.
+func (n *Network) NumNodes() int { return n.cfg.Dim * n.cfg.Dim }

@@ -1,0 +1,99 @@
+// Package optics models the physical substrate of the free-space optical
+// interconnect: Gaussian-beam propagation through the micro-lens /
+// micro-mirror path, VCSEL and photodetector device behaviour, receiver
+// noise, and the end-to-end link budget that Table 1 of the paper
+// summarizes. All quantities are SI (meters, watts, amperes, hertz)
+// unless a name says otherwise.
+package optics
+
+import "math"
+
+// GaussianBeam describes a fundamental-mode (TEM00) beam by its waist
+// radius (1/e² intensity) and wavelength.
+type GaussianBeam struct {
+	Waist      float64 // waist radius w0, m
+	Wavelength float64 // vacuum wavelength, m
+	Index      float64 // refractive index of the propagation medium (1 for free space)
+}
+
+// RayleighRange returns z_R = pi * w0^2 * n / lambda, the distance over
+// which the beam stays roughly collimated.
+func (b GaussianBeam) RayleighRange() float64 {
+	n := b.Index
+	if n == 0 {
+		n = 1
+	}
+	return math.Pi * b.Waist * b.Waist * n / b.Wavelength
+}
+
+// RadiusAt returns the 1/e² beam radius after propagating distance z from
+// the waist: w(z) = w0 * sqrt(1 + (z/zR)^2).
+func (b GaussianBeam) RadiusAt(z float64) float64 {
+	zr := b.RayleighRange()
+	r := z / zr
+	return b.Waist * math.Sqrt(1+r*r)
+}
+
+// Divergence returns the far-field half-angle divergence lambda/(pi w0 n).
+func (b GaussianBeam) Divergence() float64 {
+	n := b.Index
+	if n == 0 {
+		n = 1
+	}
+	return b.Wavelength / (math.Pi * b.Waist * n)
+}
+
+// ApertureTransmission returns the fraction of beam power passing a
+// centered circular aperture of the given radius when the local beam
+// radius is w: T = 1 - exp(-2 a² / w²).
+func ApertureTransmission(apertureRadius, beamRadius float64) float64 {
+	if apertureRadius <= 0 {
+		return 0
+	}
+	if beamRadius <= 0 {
+		return 1
+	}
+	r := apertureRadius / beamRadius
+	return 1 - math.Exp(-2*r*r)
+}
+
+// DB converts a power ratio (<= 1 for loss) to decibels of loss
+// (positive for loss).
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(ratio)
+}
+
+// FromDB converts a loss in dB (positive) back to a power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, -db/10)
+}
+
+// erfc is math.Erfc; aliased here so BER code reads like the textbook
+// formula.
+func erfc(x float64) float64 { return math.Erfc(x) }
+
+// BERFromQ returns the on-off-keying bit error rate for Gaussian noise
+// with the given Q factor: BER = 0.5 * erfc(Q / sqrt 2).
+func BERFromQ(q float64) float64 {
+	return 0.5 * erfc(q/math.Sqrt2)
+}
+
+// QFromBER inverts BERFromQ by bisection; it panics on ber outside (0, 0.5).
+func QFromBER(ber float64) float64 {
+	if ber <= 0 || ber >= 0.5 {
+		panic("optics: BER must be in (0, 0.5)")
+	}
+	lo, hi := 0.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if BERFromQ(mid) > ber {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

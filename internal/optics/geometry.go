@@ -1,0 +1,127 @@
+package optics
+
+import "math"
+
+// FreeSpacePath describes the optical route between one transmitter and
+// one receiver: collimation at the GaAs backside, a mirror-guided hop
+// through the free-space layer, and focusing onto the photodetector.
+type FreeSpacePath struct {
+	Distance        float64 // total optical path length, m (paper: 2 cm diagonal)
+	TxLensAperture  float64 // collimating micro-lens diameter, m (paper: 90 um)
+	RxLensAperture  float64 // focusing micro-lens diameter, m (paper: 190 um)
+	MirrorCount     int     // number of micro-mirror reflections (2 in Figure 1a)
+	MirrorReflect   float64 // power reflectivity per mirror
+	SubstrateLossDB float64 // GaAs substrate absorption + residual Fresnel, dB
+	Wavelength      float64 // m (paper: 980 nm)
+}
+
+// PaperPath returns the worst-case diagonal route used for Table 1.
+func PaperPath() FreeSpacePath {
+	return FreeSpacePath{
+		Distance:        2e-2,
+		TxLensAperture:  90e-6,
+		RxLensAperture:  190e-6,
+		MirrorCount:     2,
+		MirrorReflect:   0.98,
+		SubstrateLossDB: 0.10,
+		Wavelength:      980e-9,
+	}
+}
+
+// CollimatedWaist returns the 1/e² waist radius of the beam leaving the
+// transmit micro-lens. The design collimates to a waist radius of half
+// the lens diameter; the lens mount provides a clear aperture of twice
+// the waist so transmit-side truncation is 1-exp(-8) ≈ 0.03%.
+func (p FreeSpacePath) CollimatedWaist() float64 {
+	return p.TxLensAperture / 2
+}
+
+// PathLoss returns the end-to-end optical power loss of the route, in dB,
+// and its components. The dominant terms are diffraction spreading over
+// the free-space hop (receiver-lens clipping) and mirror reflectivity.
+func (p FreeSpacePath) PathLoss() PathLossBreakdown {
+	w0 := p.CollimatedWaist()
+	beam := GaussianBeam{Waist: w0, Wavelength: p.Wavelength, Index: 1}
+	wAtRx := beam.RadiusAt(p.Distance)
+
+	txClip := 1 - math.Exp(-8.0) // collimator clear aperture at 2x waist
+	rxClip := ApertureTransmission(p.RxLensAperture/2, wAtRx)
+	mirror := math.Pow(p.MirrorReflect, float64(p.MirrorCount))
+
+	b := PathLossBreakdown{
+		TxClipDB:      DB(txClip),
+		SpreadingDB:   DB(rxClip),
+		MirrorDB:      DB(mirror),
+		SubstrateDB:   p.SubstrateLossDB,
+		BeamRadiusRx:  wAtRx,
+		RayleighRange: beam.RayleighRange(),
+	}
+	b.TotalDB = b.TxClipDB + b.SpreadingDB + b.MirrorDB + b.SubstrateDB
+	return b
+}
+
+// PathLossBreakdown itemizes the optical loss along a free-space route.
+type PathLossBreakdown struct {
+	TxClipDB      float64 // collimating-lens truncation
+	SpreadingDB   float64 // diffraction spreading vs receive-lens aperture
+	MirrorDB      float64 // accumulated mirror reflectivity
+	SubstrateDB   float64 // GaAs substrate and coating losses
+	TotalDB       float64
+	BeamRadiusRx  float64 // 1/e² beam radius arriving at the receive lens, m
+	RayleighRange float64 // collimated-beam Rayleigh range, m
+}
+
+// ChipGeometry positions nodes on a square die and derives per-pair
+// optical path lengths including the vertical excursion through the
+// free-space layer.
+type ChipGeometry struct {
+	DieEdge     float64 // m (20 mm die gives the 2 cm worst-case diagonal)
+	LayerHeight float64 // free-space layer height above the GaAs backside, m
+	MeshDim     int     // nodes per edge (4 for 16 nodes, 8 for 64)
+}
+
+// PaperChip returns the evaluation floorplan: a 4x4 grid on a die whose
+// diagonal route is about 2 cm.
+func PaperChip(dim int) ChipGeometry {
+	return ChipGeometry{DieEdge: 13.0e-3, LayerHeight: 2.0e-3, MeshDim: dim}
+}
+
+// NodeCenter returns the (x, y) center of node i on the die.
+func (g ChipGeometry) NodeCenter(i int) (x, y float64) {
+	tile := g.DieEdge / float64(g.MeshDim)
+	row := i / g.MeshDim
+	col := i % g.MeshDim
+	return (float64(col) + 0.5) * tile, (float64(row) + 0.5) * tile
+}
+
+// PathLength returns the optical distance between nodes a and b: the
+// lateral separation plus the up-and-down excursion into the mirror layer.
+func (g ChipGeometry) PathLength(a, b int) float64 {
+	ax, ay := g.NodeCenter(a)
+	bx, by := g.NodeCenter(b)
+	lateral := math.Hypot(bx-ax, by-ay)
+	return lateral + 2*g.LayerHeight
+}
+
+// WorstCasePath returns the longest node-to-node optical distance.
+func (g ChipGeometry) WorstCasePath() float64 {
+	n := g.MeshDim * g.MeshDim
+	return g.PathLength(0, n-1)
+}
+
+// FlightCycles converts an optical distance into whole communication
+// cycles at the given core clock: time = distance / c.
+func FlightCycles(distance float64, coreClockHz float64) float64 {
+	const c = 299792458.0
+	return distance / c * coreClockHz
+}
+
+// SkewPaddingBits returns the number of serializer padding bits needed to
+// equalize a path against the worst case at the given line rate, matching
+// the paper's footnote that path-length differences (tens of ps) are
+// absorbed by padding and digital delay lines.
+func SkewPaddingBits(distance, worst float64, lineRateHz float64) int {
+	const c = 299792458.0
+	dt := (worst - distance) / c
+	return int(math.Ceil(dt * lineRateHz))
+}

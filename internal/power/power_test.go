@@ -1,0 +1,103 @@
+package power
+
+import (
+	"testing"
+
+	"fsoi/internal/sim"
+)
+
+// activity returns a representative 16-node run.
+func activity() Activity {
+	return Activity{
+		Cycles:     1_000_000,
+		Nodes:      16,
+		Ops:        1_000_000,
+		L1Accesses: 900_000,
+		L2Accesses: 90_000,
+	}
+}
+
+func TestMeshEnergyComponents(t *testing.T) {
+	p := PaperPower()
+	a := activity()
+	a.FlitHops = 2_000_000
+	a.Routers = 16
+	b := p.MeshEnergy(a)
+	if b.Network <= 0 || b.CoreCache <= 0 || b.Leakage <= 0 {
+		t.Fatalf("all components must be positive: %+v", b)
+	}
+	if b.Total() != b.Network+b.CoreCache+b.Leakage {
+		t.Fatal("total must sum components")
+	}
+}
+
+func TestFSOIBeatsMeshOnNetworkEnergy(t *testing.T) {
+	p := PaperPower()
+	a := activity()
+	a.FlitHops = 2_000_000
+	a.Routers = 16
+	mesh := p.MeshEnergy(a)
+
+	f := activity()
+	f.OpticalBitsTx = 500_000 * 72
+	f.OpticalBitsRx = f.OpticalBitsTx
+	f.ConfirmBits = 500_000
+	f.OpticalLanes = 3
+	f.OpticalRxPerNode = 5
+	f.TxBusyFraction = 0.05
+	fsoi := p.FSOIEnergy(f)
+
+	ratio := mesh.Network / fsoi.Network
+	if ratio < 5 {
+		t.Fatalf("mesh/FSOI network energy ratio %.1f; the paper reports ~20x", ratio)
+	}
+}
+
+func TestLeakageScalesWithTime(t *testing.T) {
+	p := PaperPower()
+	a := activity()
+	a.Routers = 16
+	long := a
+	long.Cycles *= 2
+	if p.MeshEnergy(long).Leakage <= p.MeshEnergy(a).Leakage {
+		t.Fatal("leakage must grow with runtime")
+	}
+}
+
+func TestLeakageTemperatureCoefficient(t *testing.T) {
+	hot := PaperPower()
+	cool := PaperPower()
+	cool.HotTempKelvin = cool.NominalTempKelvin
+	a := activity()
+	a.Routers = 16
+	if hot.MeshEnergy(a).Leakage <= cool.MeshEnergy(a).Leakage {
+		t.Fatal("hotter silicon must leak more")
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	p := PaperPower()
+	b := Breakdown{Network: 1, CoreCache: 2, Leakage: 1} // 4 J
+	cycles := sim.Cycle(3.3e9)                           // one second
+	if w := p.AveragePower(b, cycles); w < 3.99 || w > 4.01 {
+		t.Fatalf("power = %g W, want 4", w)
+	}
+	if p.AveragePower(b, 0) != 0 {
+		t.Fatal("zero-cycle power must be 0")
+	}
+}
+
+func TestStandbySavesTransmitPower(t *testing.T) {
+	p := PaperPower()
+	busy := activity()
+	busy.OpticalLanes = 3
+	busy.OpticalRxPerNode = 5
+	busy.TxBusyFraction = 1.0
+	idle := busy
+	idle.TxBusyFraction = 0.0
+	// With zero traffic bits, the idle system still pays standby power;
+	// a fully busy one pays none of it (it pays per-bit instead).
+	if p.FSOIEnergy(idle).Network <= p.FSOIEnergy(busy).Network {
+		t.Fatal("standby accounting inverted")
+	}
+}

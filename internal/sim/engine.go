@@ -1,0 +1,120 @@
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle int64
+
+// Ticker is a component that performs work once per cycle. The engine
+// calls Tick in registration order, so registration order is part of a
+// simulation's deterministic configuration.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: schedule order, for determinism
+	fn  func(now Cycle)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives a cycle-accurate simulation: every registered Ticker runs
+// once per cycle, and timed events fire at the start of their cycle,
+// before tickers. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+	events  eventQueue
+	seq     uint64
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Register adds a ticker. Tickers run in registration order each cycle.
+func (e *Engine) Register(t Ticker) {
+	e.tickers = append(e.tickers, t)
+}
+
+// At schedules fn to run at cycle at. Scheduling in the past (or the
+// present cycle after its events have fired) panics: silent reordering
+// would corrupt causality.
+func (e *Engine) At(at Cycle, fn func(now Cycle)) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func(now Cycle)) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Stop requests that Run return at the end of the current cycle.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step advances one cycle: fires due events, then ticks all tickers.
+func (e *Engine) Step() {
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(*event)
+		ev.fn(e.now)
+	}
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.now++
+}
+
+// Run executes up to maxCycles cycles, stopping early if Stop is called.
+// It returns the number of cycles actually executed.
+func (e *Engine) Run(maxCycles Cycle) Cycle {
+	start := e.now
+	for e.now-start < maxCycles && !e.stopped {
+		e.Step()
+	}
+	return e.now - start
+}
+
+// Pending reports the number of unfired events; useful in tests.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.NewStream("alpha")
+	s2 := root.NewStream("beta")
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("named streams should be decorrelated")
+	}
+}
+
+func TestRNGStreamDerivationDeterministic(t *testing.T) {
+	a := NewRNG(9).NewStream("x")
+	b := NewRNG(9).NewStream("x")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-name streams from same state diverged")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	err := quick.Check(func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.2 {
+		t.Fatalf("exponential mean = %g, want ~5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(19)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %g", p)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := NewRNG(23)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.5)
+	}
+	if mean := float64(sum) / n; math.Abs(mean-1) > 0.05 {
+		t.Fatalf("Geometric(0.5) mean = %g, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(29)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(31)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf should favor low ranks: c0=%d c50=%d", counts[0], counts[50])
+	}
+	if counts[0] == 0 || counts[99] == 0 {
+		t.Fatal("Zipf support should cover the full range at s=1")
+	}
+}
+
+func TestEngineTickOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Register(TickFunc(func(Cycle) { order = append(order, 1) }))
+	e.Register(TickFunc(func(Cycle) { order = append(order, 2) }))
+	e.Step()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tick order = %v", order)
+	}
+}
+
+func TestEngineEventTiming(t *testing.T) {
+	e := NewEngine()
+	var fired Cycle = -1
+	e.At(5, func(now Cycle) { fired = now })
+	e.Run(10)
+	if fired != 5 {
+		t.Fatalf("event fired at %d, want 5", fired)
+	}
+}
+
+func TestEngineEventsBeforeTickers(t *testing.T) {
+	e := NewEngine()
+	var seq []string
+	e.Register(TickFunc(func(now Cycle) {
+		if now == 3 {
+			seq = append(seq, "tick")
+		}
+	}))
+	e.At(3, func(Cycle) { seq = append(seq, "event") })
+	e.Run(5)
+	if len(seq) != 2 || seq[0] != "event" || seq[1] != "tick" {
+		t.Fatalf("sequence = %v, want [event tick]", seq)
+	}
+}
+
+func TestEngineEventFIFOWithinCycle(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(2, func(Cycle) { order = append(order, i) })
+	}
+	e.Run(3)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	e.At(3, func(Cycle) { e.Stop() })
+	ran := e.Run(100)
+	if ran != 4 {
+		t.Fatalf("ran %d cycles, want 4 (stop at end of cycle 3)", ran)
+	}
+}
+
+func TestEnginePastEventPanics(t *testing.T) {
+	e := NewEngine()
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	e.At(2, func(Cycle) {})
+}
+
+func TestEngineEventChaining(t *testing.T) {
+	e := NewEngine()
+	hops := 0
+	var chain func(now Cycle)
+	chain = func(now Cycle) {
+		hops++
+		if hops < 5 {
+			e.After(2, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run(20)
+	if hops != 5 {
+		t.Fatalf("chained %d times, want 5", hops)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 10 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("summary wrong: n=%d sum=%g mean=%g min=%g max=%g", s.N(), s.Sum(), s.Mean(), s.Min(), s.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", s.StdDev(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMergeMatchesCombined(t *testing.T) {
+	clamp := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return 0, false
+		}
+		return v, true
+	}
+	err := quick.Check(func(a, b []float64) bool {
+		var s1, s2, all Summary
+		for _, raw := range a {
+			v, ok := clamp(raw)
+			if !ok {
+				continue
+			}
+			s1.Add(v)
+			all.Add(v)
+		}
+		for _, raw := range b {
+			v, ok := clamp(raw)
+			if !ok {
+				continue
+			}
+			s2.Add(v)
+			all.Add(v)
+		}
+		s1.Merge(&s2)
+		return s1.N() == all.N() &&
+			math.Abs(s1.Sum()-all.Sum()) < 1e-6*(1+math.Abs(all.Sum()))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 5)
+	h.Add(0)
+	h.Add(9)
+	h.Add(10)
+	h.Add(49)
+	h.Add(50) // overflow
+	h.Add(-3) // clamps to bucket 0
+	if h.Bucket(0) != 3 || h.Bucket(1) != 1 || h.Bucket(4) != 1 || h.Overflow() != 1 {
+		t.Fatalf("bucket layout wrong: %d %d %d over=%d", h.Bucket(0), h.Bucket(1), h.Bucket(4), h.Overflow())
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramModeFraction(t *testing.T) {
+	h := NewHistogram(5, 10)
+	for i := 0; i < 41; i++ {
+		h.Add(12)
+	}
+	for i := 0; i < 59; i++ {
+		h.Add(int64(i % 50))
+	}
+	b, f := h.ModeFraction()
+	if b != 2 {
+		t.Fatalf("mode bucket = %d, want 2", b)
+	}
+	if f < 0.41 || f > 0.60 {
+		t.Fatalf("mode fraction = %g", f)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1, 100)
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(0.99); p != 99 {
+		t.Fatalf("p99 = %d", p)
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	a := NewHistogram(4, 8)
+	b := NewHistogram(4, 8)
+	for i := 0; i < 7; i++ {
+		a.Add(13)
+	}
+	b.AddN(13, 7)
+	if a.Bucket(3) != b.Bucket(3) || a.Total() != b.Total() || a.Mean() != b.Mean() {
+		t.Fatal("AddN should equal repeated Add")
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("b", 2)
+	c.Inc("a", 1)
+	c.Inc("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("missing") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	d := NewCounterSet()
+	d.Inc("a", 10)
+	c.Merge(d)
+	if c.Get("a") != 11 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %g", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean should be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of 0 should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("app", "speedup")
+	tb.AddRowf("fft", 1.25)
+	tb.AddRow("lu", "2.000", "extra-dropped")
+	out := tb.String()
+	if !strings.Contains(out, "app") || !strings.Contains(out, "1.250") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d lines", len(lines))
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Fatal("cells beyond header width should be dropped")
+	}
+}

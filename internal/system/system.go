@@ -1,0 +1,536 @@
+// Package system assembles a chip multiprocessor: cores, private L1s,
+// the distributed L2/directory slices, memory controllers, and one of
+// the interconnects (FSOI, the mesh baseline, or the L0/Lr1/Lr2 ideal
+// networks), then runs a workload and reports the paper's metrics.
+package system
+
+import (
+	"fmt"
+
+	"fsoi/internal/cache"
+	"fsoi/internal/coherence"
+	"fsoi/internal/core"
+	"fsoi/internal/corona"
+	"fsoi/internal/cpu"
+	"fsoi/internal/memory"
+	"fsoi/internal/mesh"
+	"fsoi/internal/noc"
+	"fsoi/internal/power"
+	"fsoi/internal/sim"
+	"fsoi/internal/stats"
+	"fsoi/internal/workload"
+)
+
+// NetworkKind selects the interconnect under test.
+type NetworkKind int
+
+// Interconnect configurations of Figures 6/7.
+const (
+	NetFSOI   NetworkKind = iota
+	NetMesh               // canonical 4-cycle routers, full contention
+	NetL0                 // idealized: serialization + source queuing only
+	NetLr1                // 1-cycle routers, contention-free
+	NetLr2                // 2-cycle routers, contention-free
+	NetCorona             // corona-style token-arbitrated optical crossbar
+)
+
+// String names the network kind.
+func (k NetworkKind) String() string {
+	switch k {
+	case NetFSOI:
+		return "fsoi"
+	case NetMesh:
+		return "mesh"
+	case NetL0:
+		return "L0"
+	case NetLr1:
+		return "Lr1"
+	case NetLr2:
+		return "Lr2"
+	case NetCorona:
+		return "corona"
+	}
+	return fmt.Sprintf("NetworkKind(%d)", int(k))
+}
+
+// Config assembles a run.
+type Config struct {
+	Nodes     int
+	Net       NetworkKind
+	FSOI      core.Config // used when Net == NetFSOI
+	Memory    memory.Config
+	L1        coherence.L1Config
+	Dir       coherence.DirConfig
+	Core      cpu.Config
+	Power     power.Params
+	Seed      uint64
+	MaxCycles sim.Cycle
+	// ForceCoherentSync disables the §5.1 confirmation-channel sync path
+	// even when the network supports it (for the ll/sc ablation).
+	ForceCoherentSync bool
+	// MeshBandwidthFrac throttles mesh injection bandwidth (Figure 11).
+	MeshBandwidthFrac float64
+	// MeshRouterCycles overrides the 4-stage router depth when positive.
+	MeshRouterCycles int
+	// TracePackets, when positive, keeps the last N delivered packets in
+	// a ring buffer exposed through Trace().
+	TracePackets int
+}
+
+// Default returns the paper configuration for the given node count and
+// network.
+func Default(nodes int, net NetworkKind) Config {
+	channels := 4
+	if nodes > 16 {
+		channels = 8
+	}
+	return Config{
+		Nodes:     nodes,
+		Net:       net,
+		FSOI:      core.PaperConfig(nodes),
+		Memory:    memory.PaperMemory(channels),
+		L1:        coherence.PaperL1(),
+		Dir:       coherence.PaperDir(),
+		Core:      cpu.PaperCore(),
+		Power:     power.PaperPower(),
+		Seed:      1,
+		MaxCycles: 40_000_000,
+	}
+}
+
+// meshDim returns the mesh edge for a node count (must be square).
+func meshDim(nodes int) int {
+	for d := 1; d*d <= nodes; d++ {
+		if d*d == nodes {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("system: node count %d is not a square", nodes))
+}
+
+// Metrics is the outcome of one run.
+type Metrics struct {
+	App       string
+	Net       string
+	Nodes     int
+	Cycles    sim.Cycle
+	Finished  bool // all threads completed before MaxCycles
+	Latency   *noc.LatencyStats
+	FSOI      *core.Stats // nil on electrical networks
+	Energy    power.Breakdown
+	AvgPowerW float64
+
+	// Traffic and protocol counters aggregated over nodes.
+	MetaPackets   int64
+	DataPackets   int64
+	Invalidations int64
+	ElidedAcks    int64
+	Nacks         int64
+	SyncStall     int64
+
+	// Reply-latency distribution over all read misses (Figure 5).
+	ReplyHist *stats.Histogram
+}
+
+// Speedup compares run times (baseline cycles / this cycles).
+func (m Metrics) Speedup(baseline Metrics) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(m.Cycles)
+}
+
+// System is one assembled CMP.
+type System struct {
+	cfg      Config
+	engine   *sim.Engine
+	rng      *sim.RNG
+	net      noc.Network
+	fsoi     *core.Network
+	meshNet  *mesh.Network
+	l1s      []*coherence.L1
+	dirs     []*coherence.Directory
+	mems     map[int]*memory.Controller
+	cores    []*cpu.Core
+	sync     syncFabric
+	finished int
+	pktID    uint64
+	tracer   *noc.Tracer
+
+	// Point-to-point ordering state (§4.4): one in-flight message per
+	// (src, dst, line); the rest wait here.
+	ordInFlight map[orderKey]bool
+	ordQueue    map[orderKey][]coherence.Msg
+}
+
+// orderKey identifies one ordered message stream.
+type orderKey struct {
+	src, dst int
+	addr     cache.LineAddr
+}
+
+// transport adapts the system to coherence.Transport.
+type transport struct{ s *System }
+
+// packetFor wraps a protocol message for the wire.
+func (t transport) packetFor(m coherence.Msg) *noc.Packet {
+	t.s.pktID++
+	p := &noc.Packet{
+		ID:      t.s.pktID,
+		Src:     m.From,
+		Dst:     m.To,
+		Payload: m,
+	}
+	if m.HasData {
+		p.Type = noc.Data
+	}
+	switch m.Type {
+	case coherence.DataS, coherence.DataE, coherence.DataM, coherence.MemAck:
+		p.IsReply = true
+	case coherence.WriteBack:
+		p.IsWriteback = m.HasData
+	}
+	switch m.Type {
+	case coherence.ReqMem, coherence.MemWrite, coherence.MemAck:
+		p.IsMemory = true
+	case coherence.ReqSh, coherence.ReqEx:
+		p.ExpectsDataReply = true
+	}
+	return p
+}
+
+// Send enforces the §4.4 point-to-point ordering invariant Table 2
+// assumes: at most one message per (source, destination, line) is in
+// flight; later ones queue at the source until the earlier is delivered.
+// On FSOI this is the confirmation-based serialization the paper
+// describes; on the mesh it models deterministic routing with ordered
+// per-class channels.
+func (t transport) Send(m coherence.Msg) bool {
+	s := t.s
+	key := orderKey{src: m.From, dst: m.To, addr: m.Addr}
+	if s.ordInFlight[key] {
+		s.ordQueue[key] = append(s.ordQueue[key], m)
+		return true
+	}
+	if !s.net.Send(t.packetFor(m)) {
+		return false
+	}
+	s.ordInFlight[key] = true
+	return true
+}
+
+func (t transport) ConfirmationElision() bool {
+	return t.s.fsoi != nil && t.s.fsoi.SupportsConfirmation()
+}
+
+func (t transport) BooleanSubscription() bool {
+	return t.s.fsoi != nil && t.s.fsoi.SupportsBooleanSubscription() && !t.s.cfg.ForceCoherentSync
+}
+
+func (t transport) SendBit(from, to int, tag uint64, value bool) {
+	if t.s.fsoi == nil {
+		panic("system: SendBit without FSOI network")
+	}
+	t.s.fsoi.SendConfirmBit(from, to, tag, value)
+}
+
+// New assembles a system.
+func New(cfg Config) *System {
+	s := &System{
+		cfg:         cfg,
+		engine:      sim.NewEngine(),
+		rng:         sim.NewRNG(cfg.Seed),
+		mems:        make(map[int]*memory.Controller),
+		ordInFlight: make(map[orderKey]bool),
+		ordQueue:    make(map[orderKey][]coherence.Msg),
+	}
+	dim := meshDim(cfg.Nodes)
+	tr := transport{s}
+
+	switch cfg.Net {
+	case NetFSOI:
+		fc := cfg.FSOI
+		fc.Nodes = cfg.Nodes
+		s.fsoi = core.New(fc, s.engine, s.rng)
+		s.net = s.fsoi
+	case NetMesh:
+		mc := mesh.PaperMesh(dim)
+		mc.BandwidthFrac = cfg.MeshBandwidthFrac
+		if cfg.MeshRouterCycles > 0 {
+			mc.RouterCycles = cfg.MeshRouterCycles
+		}
+		s.meshNet = mesh.New(mc, s.engine)
+		s.net = s.meshNet
+	case NetL0:
+		s.net = mesh.NewL0(dim, s.engine)
+	case NetLr1:
+		s.net = mesh.NewLr(dim, 1, s.engine)
+	case NetLr2:
+		s.net = mesh.NewLr(dim, 2, s.engine)
+	case NetCorona:
+		s.net = corona.New(corona.PaperCorona(cfg.Nodes), s.engine)
+	default:
+		panic("system: unknown network kind")
+	}
+	s.engine.Register(sim.TickFunc(s.net.Tick))
+
+	home := func(a cache.LineAddr) int { return int(uint64(a) % uint64(cfg.Nodes)) }
+	attach := memory.AttachNodes(dim, cfg.Memory.Channels)
+	memNode := func(h int) int { return attach[h%cfg.Memory.Channels] }
+
+	for i := 0; i < cfg.Nodes; i++ {
+		l1 := coherence.NewL1(i, cfg.L1, s.engine, s.rng.NewStream(fmt.Sprintf("l1-%d", i)), tr, home)
+		s.l1s = append(s.l1s, l1)
+		s.engine.Register(l1)
+		dir := coherence.NewDirectory(i, cfg.Dir, s.engine, tr, memNode)
+		s.dirs = append(s.dirs, dir)
+		s.engine.Register(dir)
+	}
+	for c := 0; c < cfg.Memory.Channels; c++ {
+		node := attach[c]
+		if _, dup := s.mems[node]; dup {
+			continue
+		}
+		ctl := memory.NewController(node, cfg.Memory, s.engine, func(m coherence.Msg) {
+			if !tr.Send(m) {
+				// Memory replies retry through the engine until the NIC
+				// accepts them.
+				s.retrySend(m)
+			}
+		})
+		s.mems[node] = ctl
+	}
+
+	if cfg.TracePackets > 0 {
+		s.tracer = noc.NewTracer(cfg.TracePackets)
+	}
+	s.net.SetDelivery(s.deliver)
+	if s.fsoi != nil {
+		s.fsoi.SetConfirmDelivery(s.onConfirm)
+		s.fsoi.SetBitDelivery(s.onBit)
+	}
+
+	if tr.BooleanSubscription() {
+		s.sync = newSubscriptionSync(s, tr)
+	} else {
+		s.sync = newCoherentSync(s)
+	}
+	return s
+}
+
+// retrySend keeps attempting a message until the network accepts it.
+func (s *System) retrySend(m coherence.Msg) {
+	s.engine.After(1, func(sim.Cycle) {
+		if !(transport{s}).Send(m) {
+			s.retrySend(m)
+		}
+	})
+}
+
+// orderedDone releases the (src, dst, line) stream after a delivery and
+// launches the next queued message, retrying through the engine when the
+// NIC pushes back.
+func (s *System) orderedDone(m coherence.Msg) {
+	key := orderKey{src: m.From, dst: m.To, addr: m.Addr}
+	q := s.ordQueue[key]
+	if len(q) == 0 {
+		delete(s.ordInFlight, key)
+		delete(s.ordQueue, key)
+		return
+	}
+	next := q[0]
+	s.ordQueue[key] = q[1:]
+	s.launchOrdered(key, next)
+}
+
+func (s *System) launchOrdered(key orderKey, m coherence.Msg) {
+	if s.net.Send((transport{s}).packetFor(m)) {
+		return
+	}
+	s.engine.After(1, func(sim.Cycle) { s.launchOrdered(key, m) })
+}
+
+// deliver routes an arriving packet to its destination controller.
+func (s *System) deliver(p *noc.Packet, now sim.Cycle) {
+	m, ok := p.Payload.(coherence.Msg)
+	if !ok {
+		panic("system: foreign payload on the interconnect")
+	}
+	s.orderedDone(m)
+	if s.tracer != nil {
+		s.tracer.Record(p, now)
+	}
+	switch m.Type {
+	case coherence.ReqMem, coherence.MemWrite:
+		ctl := s.mems[m.To]
+		if ctl == nil {
+			panic(fmt.Sprintf("system: no memory controller at node %d", m.To))
+		}
+		ctl.Handle(m, now)
+	case coherence.MemAck,
+		coherence.ReqSh, coherence.ReqEx, coherence.ReqUpg,
+		coherence.WriteBack, coherence.InvAck, coherence.DwgAck,
+		coherence.SyncReq:
+		s.dirs[m.To].Handle(m, now)
+	case coherence.SyncResp:
+		s.sync.onSyncResp(m, now)
+	default:
+		s.l1s[m.To].Handle(m, now)
+	}
+}
+
+// onConfirm handles sender-side confirmations (FSOI): an elided-ack Inv's
+// confirmation is the invalidation ack.
+func (s *System) onConfirm(p *noc.Packet, now sim.Cycle) {
+	m, ok := p.Payload.(coherence.Msg)
+	if !ok {
+		return
+	}
+	if m.Type == coherence.Inv && m.Value {
+		s.dirs[m.From].OnInvConfirm(m.Addr, now)
+	}
+}
+
+// onBit routes confirmation-lane booleans to the sync fabric.
+func (s *System) onBit(src, dst int, tag uint64, value bool, now sim.Cycle) {
+	s.sync.onBit(dst, tag, value, now)
+}
+
+// Run executes one application to completion (or MaxCycles) and gathers
+// metrics.
+func (s *System) Run(app workload.App) Metrics {
+	// Barrier target: every core participates in barrier 0.
+	for _, d := range s.dirs {
+		d.Sync().SetBarrierTarget(0, s.cfg.Nodes)
+	}
+	s.sync.setBarrierTarget(0, s.cfg.Nodes)
+
+	for i := 0; i < s.cfg.Nodes; i++ {
+		stream := workload.NewStream(app, i, s.cfg.Nodes, s.cfg.Seed)
+		c := cpu.New(i, s.cfg.Core, s.engine, s.l1s[i], stream, s.sync, func(core int, at sim.Cycle) {
+			s.finished++
+			if s.finished == s.cfg.Nodes {
+				s.engine.Stop()
+			}
+		})
+		s.cores = append(s.cores, c)
+		c.Start()
+	}
+	s.engine.Run(s.cfg.MaxCycles)
+	return s.collect(app.Name)
+}
+
+// collect assembles the metrics of a finished run.
+func (s *System) collect(app string) Metrics {
+	m := Metrics{
+		App:      app,
+		Net:      s.cfg.Net.String(),
+		Nodes:    s.cfg.Nodes,
+		Cycles:   s.engine.Now(),
+		Finished: s.finished == s.cfg.Nodes,
+		Latency:  s.net.LatencyStats(),
+	}
+	if s.fsoi != nil {
+		m.FSOI = s.fsoi.Stats()
+	}
+	m.ReplyHist = stats.NewHistogram(5, 60)
+	var ops, l1acc, l2acc int64
+	for i, l1 := range s.l1s {
+		st := l1.Stats()
+		m.Invalidations += st.Invalidations
+		m.ElidedAcks += st.ElidedAcks
+		m.Nacks += st.Nacks
+		l1acc += st.Hits + st.Misses
+		mergeHist(m.ReplyHist, st.MissHist)
+		ops += s.cores[i].Stats().Ops
+		m.SyncStall += s.cores[i].Stats().StallSync
+	}
+	for _, d := range s.dirs {
+		l2acc += d.Stats().Requests + d.Stats().MemReads
+	}
+	m.MetaPackets = int64(s.net.LatencyStats().ByType[noc.Meta].N())
+	m.DataPackets = int64(s.net.LatencyStats().ByType[noc.Data].N())
+
+	act := power.Activity{
+		Cycles:     m.Cycles,
+		Nodes:      s.cfg.Nodes,
+		Ops:        ops,
+		L1Accesses: l1acc,
+		L2Accesses: l2acc,
+	}
+	if s.fsoi != nil {
+		st := s.fsoi.Stats()
+		bitsTx := st.Attempts[core.LaneMeta]*72 + st.Attempts[core.LaneData]*360
+		act.OpticalBitsTx = bitsTx
+		act.OpticalBitsRx = bitsTx
+		act.ConfirmBits = st.ConfirmBits + st.ConfirmSignals
+		act.OpticalLanes = 3 // meta + data + confirmation
+		act.OpticalRxPerNode = 2*s.cfg.FSOI.Receivers + 1
+		slots := st.SlotsObserved[core.LaneMeta] + st.SlotsObserved[core.LaneData]
+		if slots > 0 {
+			act.TxBusyFraction = float64(st.Attempts[core.LaneMeta]+st.Attempts[core.LaneData]) / float64(slots)
+		}
+		m.Energy = s.cfg.Power.FSOIEnergy(act)
+	} else {
+		if s.meshNet != nil {
+			act.FlitHops = s.meshNet.FlitHops()
+		} else {
+			// Ideal networks: charge hop activity as if routed, so the
+			// energy comparison stays conservative.
+			act.FlitHops = estimateFlitHops(s.net.LatencyStats(), s.cfg.Nodes)
+		}
+		act.Routers = s.cfg.Nodes
+		m.Energy = s.cfg.Power.MeshEnergy(act)
+	}
+	m.AvgPowerW = s.cfg.Power.AveragePower(m.Energy, m.Cycles)
+	return m
+}
+
+// estimateFlitHops approximates flit-hop activity for contention-free
+// networks from delivered packet counts and the average hop count of a
+// dim x dim mesh.
+func estimateFlitHops(l *noc.LatencyStats, nodes int) int64 {
+	dim := meshDim(nodes)
+	avgHops := float64(2*dim) / 3
+	flits := float64(l.ByType[noc.Meta].N())*1 + float64(l.ByType[noc.Data].N())*5
+	return int64(flits * (avgHops + 1))
+}
+
+// mergeHist folds src into dst bucket-wise (same shape by construction).
+func mergeHist(dst, src *stats.Histogram) {
+	for i := 0; i < src.NumBuckets(); i++ {
+		dst.AddN(int64(i)*5, src.Bucket(i))
+	}
+	dst.AddN(int64(src.NumBuckets())*5, src.Overflow())
+}
+
+// Diagnose reports stuck state after a run that failed to finish: cores
+// that never completed and lines wedged in transient states.
+func (s *System) Diagnose() string {
+	out := ""
+	for i, c := range s.cores {
+		if c != nil && !c.Done() {
+			out += fmt.Sprintf("core %d not done: ops=%d outstandingL1=%d\n", i, c.Stats().Ops, s.l1s[i].Outstanding())
+		}
+	}
+	for i, d := range s.dirs {
+		out += d.DumpTransients(fmt.Sprintf("dir %d", i))
+	}
+	return out
+}
+
+// Engine exposes the simulation engine (tests).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// L1 exposes a node's L1 controller (tests).
+func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
+
+// Trace exposes the delivered-packet ring buffer (nil unless
+// Config.TracePackets was set).
+func (s *System) Trace() *noc.Tracer { return s.tracer }
+
+// CoreStats exposes a core's counters (tests, diagnostics).
+func (s *System) CoreStats(i int) *cpu.Stats { return s.cores[i].Stats() }
+
+// Directory exposes a node's home slice (tests).
+func (s *System) Directory(i int) *coherence.Directory { return s.dirs[i] }

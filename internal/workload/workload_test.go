@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"testing"
+
+	"fsoi/internal/cache"
+	"fsoi/internal/cpu"
+)
+
+func TestSuiteHasSixteenApps(t *testing.T) {
+	apps := Suite(1.0)
+	if len(apps) != 16 {
+		t.Fatalf("suite has %d apps, want 16", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Fatalf("duplicate app %s", a.Name)
+		}
+		names[a.Name] = true
+		if a.Steps <= 0 || a.ReadFrac <= 0 || a.ReadFrac > 1 || a.SharedFrac < 0 || a.SharedFrac > 1 {
+			t.Fatalf("%s has invalid parameters: %+v", a.Name, a)
+		}
+	}
+	for _, want := range []string{"barnes", "fft", "mp3d", "tsp", "em3d", "jacobi", "shallow", "ilink"} {
+		if !names[want] {
+			t.Fatalf("suite missing %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fft", 1); !ok {
+		t.Fatal("fft should exist")
+	}
+	if _, ok := ByName("doom", 1); ok {
+		t.Fatal("doom should not exist")
+	}
+}
+
+func TestScaleShortensStreams(t *testing.T) {
+	full, _ := ByName("lu", 1.0)
+	short, _ := ByName("lu", 0.1)
+	if short.Steps >= full.Steps {
+		t.Fatal("scaling down must shorten the stream")
+	}
+	tiny, _ := ByName("lu", 0.000001)
+	if tiny.Steps < 64 {
+		t.Fatal("streams have a minimum length")
+	}
+}
+
+// drain pulls every op from a stream.
+func drain(s *Stream) []cpu.Op {
+	var ops []cpu.Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	app, _ := ByName("barnes", 0.05)
+	a := drain(NewStream(app, 3, 16, 42))
+	b := drain(NewStream(app, 3, 16, 42))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamsDifferAcrossNodes(t *testing.T) {
+	app, _ := ByName("barnes", 0.05)
+	a := drain(NewStream(app, 0, 16, 42))
+	b := drain(NewStream(app, 1, 16, 42))
+	same := 0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if float64(same)/float64(n) > 0.9 {
+		t.Fatal("per-node streams should not be near-identical")
+	}
+}
+
+func TestBarrierCountsMatchAcrossThreads(t *testing.T) {
+	app, _ := ByName("ocean", 0.2)
+	count := func(node int) int {
+		n := 0
+		for _, op := range drain(NewStream(app, node, 16, 1)) {
+			if op.Kind == cpu.OpBarrier {
+				n++
+			}
+		}
+		return n
+	}
+	c0 := count(0)
+	if c0 == 0 {
+		t.Fatal("ocean must emit barriers")
+	}
+	for node := 1; node < 16; node++ {
+		if c := count(node); c != c0 {
+			t.Fatalf("node %d emits %d barriers, node 0 emits %d — deadlock", node, c, c0)
+		}
+	}
+	if c0 != app.Barriers() {
+		t.Fatalf("emitted %d, Barriers() reports %d", c0, app.Barriers())
+	}
+}
+
+func TestLockSectionsAreBalanced(t *testing.T) {
+	app, _ := ByName("raytrace", 0.2)
+	acq, rel := 0, 0
+	depth := 0
+	for _, op := range drain(NewStream(app, 2, 16, 1)) {
+		switch op.Kind {
+		case cpu.OpLockAcquire:
+			acq++
+			depth++
+			if depth > 1 {
+				t.Fatal("nested critical sections not expected")
+			}
+		case cpu.OpLockRelease:
+			rel++
+			depth--
+			if depth < 0 {
+				t.Fatal("release without acquire")
+			}
+		}
+	}
+	if acq == 0 || acq != rel {
+		t.Fatalf("acquires=%d releases=%d", acq, rel)
+	}
+}
+
+func TestAddressRegions(t *testing.T) {
+	app, _ := ByName("fft", 0.1)
+	s := NewStream(app, 5, 16, 1)
+	sawPrivate, sawShared := false, false
+	for _, op := range drain(s) {
+		if op.Kind != cpu.OpLoad && op.Kind != cpu.OpStore {
+			continue
+		}
+		switch {
+		case op.Addr >= SharedBase:
+			sawShared = true
+		case op.Addr >= PrivateBase:
+			sawPrivate = true
+		default:
+			t.Fatalf("address %#x below the private base", uint64(op.Addr))
+		}
+	}
+	if !sawPrivate || !sawShared {
+		t.Fatalf("private=%v shared=%v; both regions must be touched", sawPrivate, sawShared)
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	app, _ := ByName("tsp", 0.1)
+	mine := map[cache.LineAddr]bool{}
+	for _, op := range drain(NewStream(app, 3, 16, 1)) {
+		if (op.Kind == cpu.OpLoad || op.Kind == cpu.OpStore) && op.Addr < SharedBase && op.Addr >= PrivateBase {
+			mine[op.Addr] = true
+		}
+	}
+	for _, op := range drain(NewStream(app, 4, 16, 1)) {
+		if (op.Kind == cpu.OpLoad || op.Kind == cpu.OpStore) && op.Addr < SharedBase && op.Addr >= PrivateBase {
+			if mine[op.Addr] {
+				t.Fatalf("address %#x appears in two private regions", uint64(op.Addr))
+			}
+		}
+	}
+}
+
+func TestMigratoryPatternPairsLoadStore(t *testing.T) {
+	app, _ := ByName("mp3d", 0.1)
+	ops := drain(NewStream(app, 1, 16, 1))
+	pairs := 0
+	for i := 0; i+1 < len(ops); i++ {
+		if ops[i].Kind == cpu.OpLoad && ops[i+1].Kind == cpu.OpStore && ops[i].Addr == ops[i+1].Addr &&
+			ops[i].Addr >= SharedBase {
+			pairs++
+		}
+	}
+	if pairs < app.Steps/10 {
+		t.Fatalf("migratory read-modify-write pairs too rare: %d", pairs)
+	}
+}
+
+func TestReadFractionRoughlyHonored(t *testing.T) {
+	app, _ := ByName("raytrace", 0.2) // ReadFrac 0.82
+	loads, stores := 0, 0
+	for _, op := range drain(NewStream(app, 0, 16, 1)) {
+		switch op.Kind {
+		case cpu.OpLoad:
+			loads++
+		case cpu.OpStore:
+			stores++
+		}
+	}
+	frac := float64(loads) / float64(loads+stores)
+	if frac < 0.70 || frac > 0.92 {
+		t.Fatalf("load fraction %.2f, parameter 0.82", frac)
+	}
+}
+
+func TestComputeOpsPresent(t *testing.T) {
+	app, _ := ByName("water-sp", 0.1)
+	saw := 0
+	for _, op := range drain(NewStream(app, 0, 16, 1)) {
+		if op.Kind == cpu.OpCompute {
+			saw++
+			if op.Cycles <= 0 {
+				t.Fatal("compute ops need positive duration")
+			}
+		}
+	}
+	if saw == 0 {
+		t.Fatal("no compute ops emitted")
+	}
+}
