@@ -204,3 +204,13 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultSweep runs the margin-penalty sweep at bench scale and
+// reports the endpoint speedups: the gap between the clean and the
+// 3.5 dB point is the measured cost of resilience.
+func BenchmarkFaultSweep(b *testing.B) {
+	res := runExp(b, "faults", exp.BenchOptions())
+	b.ReportMetric(res.Values["speedup_p0.0"], "speedup-clean")
+	b.ReportMetric(res.Values["speedup_p3.5"], "speedup-3.5dB")
+	b.ReportMetric(res.Values["retrans_p3.5"], "retrans-3.5dB")
+}

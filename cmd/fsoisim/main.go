@@ -99,6 +99,13 @@ func main() {
 		fmt.Printf("hints               %d issued, %d correct, %d wrong-winner\n",
 			m.FSOI.HintsIssued, m.FSOI.HintsCorrect, m.FSOI.HintsWrong)
 	}
+	if m.FaultCounters != nil {
+		fmt.Printf("faults              %d bit errors (%d header, %d CRC), %d confirm drops -> %d timeouts, %d VCSELs failed on %d nodes\n",
+			m.FaultCounters.Get("bit_errors"), m.FaultCounters.Get("header_corruptions"),
+			m.FaultCounters.Get("payload_crc_errors"), m.FaultCounters.Get("confirm_drops"),
+			m.FaultCounters.Get("timeout_retransmits"), m.FaultCounters.Get("vcsels_failed"),
+			m.FaultCounters.Get("nodes_degraded"))
+	}
 	fmt.Printf("energy              %.4f J (network %.4f, core+cache %.4f, leakage %.4f), avg power %.1f W\n",
 		m.Energy.Total(), m.Energy.Network, m.Energy.CoreCache, m.Energy.Leakage, m.AvgPowerW)
 	if bucket, frac := m.ReplyHist.ModeFraction(); m.ReplyHist.Total() > 0 {

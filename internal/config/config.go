@@ -11,7 +11,9 @@ import (
 	"os"
 
 	"fsoi/internal/core"
+	"fsoi/internal/fault"
 	"fsoi/internal/system"
+	"fsoi/internal/thermal"
 )
 
 // Spec is the serializable view of a simulation configuration. Zero
@@ -25,13 +27,19 @@ type Spec struct {
 	Seed    uint64  `json:"seed,omitempty"`
 
 	// FSOI knobs (ignored on other networks).
-	MetaVCSELs    int      `json:"meta_vcsels,omitempty"`
-	DataVCSELs    int      `json:"data_vcsels,omitempty"`
-	Receivers     int      `json:"receivers,omitempty"`
-	WindowW       float64  `json:"window_w,omitempty"`
-	BackoffB      float64  `json:"backoff_b,omitempty"`
-	OutQueue      int      `json:"out_queue,omitempty"`
-	Optimizations *OptSpec `json:"optimizations,omitempty"`
+	MetaVCSELs          int      `json:"meta_vcsels,omitempty"`
+	DataVCSELs          int      `json:"data_vcsels,omitempty"`
+	Receivers           int      `json:"receivers,omitempty"`
+	WindowW             float64  `json:"window_w,omitempty"`
+	BackoffB            float64  `json:"backoff_b,omitempty"`
+	OutQueue            int      `json:"out_queue,omitempty"`
+	MaxBackoffSlots     float64  `json:"max_backoff_slots,omitempty"`
+	ConfirmTimeoutSlots int      `json:"confirm_timeout_slots,omitempty"`
+	Optimizations       *OptSpec `json:"optimizations,omitempty"`
+
+	// Faults switches on physical-fault injection (FSOI only); nil
+	// injects nothing and keeps runs bit-identical to fault-free builds.
+	Faults *FaultSpec `json:"faults,omitempty"`
 
 	// Memory system.
 	MemoryGBps float64 `json:"memory_gbps,omitempty"`
@@ -53,6 +61,64 @@ type OptSpec struct {
 	ReceiverScheduling  bool `json:"receiver_scheduling"`
 	WritebackSplit      bool `json:"writeback_split"`
 	RetransmitHints     bool `json:"retransmit_hints"`
+}
+
+// FaultSpec is the serializable view of fault.Config. Thermal droop is
+// enabled by a positive droop coefficient; the remaining thermal fields
+// then inherit paper-plausible defaults unless overridden.
+type FaultSpec struct {
+	MarginPenaltyDB float64 `json:"margin_penalty_db,omitempty"`
+	VCSELFailProb   float64 `json:"vcsel_fail_prob,omitempty"`
+	ConfirmDropProb float64 `json:"confirm_drop_prob,omitempty"`
+	// ThermalCooling: "air", "microchannel" or "diamond-spreader".
+	ThermalCooling   string  `json:"thermal_cooling,omitempty"`
+	ThermalPowerW    float64 `json:"thermal_power_w,omitempty"`
+	ThermalTauCycles float64 `json:"thermal_tau_cycles,omitempty"`
+	DroopDBPerK      float64 `json:"droop_db_per_k,omitempty"`
+}
+
+// coolings maps spec names to thermal technologies.
+var coolings = map[string]thermal.Cooling{
+	"air": thermal.AirCooled, "microchannel": thermal.Microchannel,
+	"diamond-spreader": thermal.DiamondSpreader,
+}
+
+// build converts the spec into a fault configuration.
+func (f FaultSpec) build() (fault.Config, error) {
+	cfg := fault.Config{
+		MarginPenaltyDB: f.MarginPenaltyDB,
+		VCSELFailProb:   f.VCSELFailProb,
+		ConfirmDropProb: f.ConfirmDropProb,
+	}
+	if f.DroopDBPerK > 0 {
+		cooling := thermal.AirCooled
+		if f.ThermalCooling != "" {
+			c, ok := coolings[f.ThermalCooling]
+			if !ok {
+				return fault.Config{}, fmt.Errorf("config: unknown cooling %q", f.ThermalCooling)
+			}
+			cooling = c
+		}
+		cfg.Thermal = fault.ThermalSpec{
+			Enabled:       true,
+			Cooling:       cooling,
+			PowerPerNodeW: f.ThermalPowerW,
+			TauCycles:     f.ThermalTauCycles,
+			DroopDBPerK:   f.DroopDBPerK,
+		}
+		if cfg.Thermal.PowerPerNodeW == 0 {
+			cfg.Thermal.PowerPerNodeW = 4 // §3.3 evaluates ~4 W/node
+		}
+		if cfg.Thermal.TauCycles == 0 {
+			cfg.Thermal.TauCycles = 100000 // package thermal time constant
+		}
+	} else if f.ThermalCooling != "" || f.ThermalPowerW != 0 || f.ThermalTauCycles != 0 {
+		return fault.Config{}, fmt.Errorf("config: thermal fields need droop_db_per_k > 0")
+	}
+	if err := cfg.Validate(); err != nil {
+		return fault.Config{}, err
+	}
+	return cfg, nil
 }
 
 // networkKinds maps spec names to system kinds.
@@ -117,6 +183,19 @@ func (s Spec) Build() (system.Config, error) {
 	}
 	if s.OutQueue > 0 {
 		cfg.FSOI.OutQueue = s.OutQueue
+	}
+	if s.MaxBackoffSlots > 0 {
+		cfg.FSOI.MaxBackoffSlots = s.MaxBackoffSlots
+	}
+	if s.ConfirmTimeoutSlots > 0 {
+		cfg.FSOI.ConfirmTimeoutSlots = s.ConfirmTimeoutSlots
+	}
+	if s.Faults != nil {
+		fc, err := s.Faults.build()
+		if err != nil {
+			return system.Config{}, err
+		}
+		cfg.Fault = fc
 	}
 	if s.Optimizations != nil {
 		o := s.Optimizations

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fsoi/internal/system"
+	"fsoi/internal/thermal"
 )
 
 func TestParseDefaults(t *testing.T) {
@@ -109,5 +110,74 @@ func TestLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing files must error")
+	}
+}
+
+func TestBuildFaultSection(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"max_backoff_slots": 128,
+		"confirm_timeout_slots": 6,
+		"faults": {
+			"margin_penalty_db": 2.5,
+			"vcsel_fail_prob": 0.05,
+			"confirm_drop_prob": 0.02,
+			"droop_db_per_k": 0.03,
+			"thermal_cooling": "microchannel"
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FSOI.MaxBackoffSlots != 128 || cfg.FSOI.ConfirmTimeoutSlots != 6 {
+		t.Fatal("backoff cap / confirm timeout overrides lost")
+	}
+	f := cfg.Fault
+	if !f.Enabled() {
+		t.Fatal("fault section must enable injection")
+	}
+	if f.MarginPenaltyDB != 2.5 || f.VCSELFailProb != 0.05 || f.ConfirmDropProb != 0.02 {
+		t.Fatal("fault knobs lost")
+	}
+	if !f.Thermal.Enabled || f.Thermal.Cooling != thermal.Microchannel {
+		t.Fatal("thermal cooling lost")
+	}
+	if f.Thermal.PowerPerNodeW != 4 || f.Thermal.TauCycles != 100000 {
+		t.Fatal("thermal defaults not applied")
+	}
+}
+
+func TestBuildFaultOmittedStaysDisabled(t *testing.T) {
+	s, err := Parse([]byte(`{"network": "fsoi"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fault.Enabled() {
+		t.Fatal("no faults section must mean no injection")
+	}
+}
+
+func TestBuildFaultRejectsBadSections(t *testing.T) {
+	bad := []string{
+		`{"faults": {"margin_penalty_db": -1}}`,
+		`{"faults": {"vcsel_fail_prob": 1.5}}`,
+		`{"faults": {"thermal_cooling": "peltier", "droop_db_per_k": 0.1}}`,
+		`{"faults": {"thermal_power_w": 4}}`,
+	}
+	for i, js := range bad {
+		s, err := Parse([]byte(js))
+		if err != nil {
+			t.Fatalf("case %d failed to parse: %v", i, err)
+		}
+		if _, err := s.Build(); err == nil {
+			t.Errorf("case %d: bad fault section must error", i)
+		}
 	}
 }

@@ -87,6 +87,15 @@ type Config struct {
 	// WrongWinner is the probability a hint wrongly selects a node that
 	// then believes it won (§7.3 measures 2.3%).
 	WrongWinner float64
+	// MaxBackoffSlots caps the exponential backoff window W*B^(r-1) (the
+	// DESIGN.md §5 guard rail). Zero means the historical 256-slot
+	// default, so hand-built configs keep working.
+	MaxBackoffSlots float64
+	// ConfirmTimeoutSlots is how many lane slots a sender waits for a
+	// missing confirmation before retransmitting (the fault-injection
+	// recovery path; only exercised when a FaultModel drops
+	// confirmations). Zero means the 4-slot default.
+	ConfirmTimeoutSlots int
 }
 
 // PaperConfig returns the evaluation configuration for the given node
@@ -107,6 +116,9 @@ func PaperConfig(nodes int) Config {
 		Opt:          AllOptimizations(),
 		HintAccuracy: 0.94,
 		WrongWinner:  0.023,
+
+		MaxBackoffSlots:     256,
+		ConfirmTimeoutSlots: 4,
 	}
 }
 
@@ -138,6 +150,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: backoff base must be >= 1")
 	case c.OutQueue < 1:
 		return fmt.Errorf("core: outgoing queue must hold at least one packet")
+	case c.MaxBackoffSlots < 0:
+		return fmt.Errorf("core: negative backoff window cap")
+	case c.ConfirmTimeoutSlots < 0:
+		return fmt.Errorf("core: negative confirmation timeout")
 	}
 	return nil
 }

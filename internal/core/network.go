@@ -52,8 +52,10 @@ type transmission struct {
 	firstSlotEnd sim.Cycle // end of the first attempted slot
 	readyCycle   sim.Cycle // when it became eligible to transmit
 	steerExtra   int       // phase-array retarget penalty this attempt
+	degradeExtra int       // VCSEL-failure serialization penalty this attempt
 	winner       bool      // selected by a retransmission hint
 	retrySlot    int64     // earliest slot index for the next attempt
+	delivered    bool      // payload landed but the confirmation was lost
 }
 
 // nodeState is the per-node transmit machinery.
@@ -96,6 +98,14 @@ type Stats struct {
 	ConfirmSignals int64 // packet confirmations sent
 	BitErrors      int64
 	ScheduledHolds int64 // packets delayed by receiver scheduling / wb split
+
+	// Fault-injection counters (all zero unless a FaultModel is attached).
+	HeaderCorruptions     int64 // bit errors in the PID/~PID header: misdetected collisions
+	PayloadCRCErrors      int64 // bit errors caught by the payload CRC
+	ConfirmDrops          int64 // confirmation beams lost
+	TimeoutRetransmits    int64 // retransmissions launched by the confirmation timeout
+	DuplicateDeliveries   int64 // re-received packets discarded at the receiver
+	DegradedTransmissions int64 // attempts stretched by failed VCSELs
 }
 
 // TransmissionProbability reports attempts per node per slot for a lane,
@@ -116,6 +126,16 @@ func (s *Stats) CollisionRate(l Lane) float64 {
 	return float64(s.Collided[l]) / float64(s.Attempts[l])
 }
 
+// RetransmissionRate reports extra attempts per delivered packet on a
+// lane — the fault sweep's degradation metric: 0 when every packet lands
+// first try, 1 when packets need two attempts on average.
+func (s *Stats) RetransmissionRate(l Lane) float64 {
+	if s.Delivered[l] == 0 {
+		return 0
+	}
+	return float64(s.Attempts[l]-s.Delivered[l]) / float64(s.Delivered[l])
+}
+
 // Network is the FSOI interconnect.
 type Network struct {
 	cfg       Config
@@ -129,7 +149,8 @@ type Network struct {
 	nodes     []*nodeState
 	slots     map[slotKey][]*transmission
 	conf      *confLane
-	ber       float64 // per-bit error probability on the signaling chain
+	ber       float64    // per-bit error probability on the signaling chain
+	fault     FaultModel // nil unless an injector is attached
 }
 
 // New builds an FSOI network over the engine; it panics on an invalid
@@ -397,6 +418,13 @@ func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot
 		tx.steerExtra = n.cfg.PhaseSetup
 		ns.lastDst[l] = p.Dst
 	}
+	tx.degradeExtra = 0
+	if n.fault != nil {
+		if ext := n.fault.SlotExtension(id, l); ext > 0 {
+			tx.degradeExtra = ext
+			n.stats.DegradedTransmissions++
+		}
+	}
 	rcv := id % n.cfg.Receivers
 	key := slotKey{dst: p.Dst, lane: l, rcv: rcv, slot: slot}
 	group, existed := n.slots[key]
@@ -423,9 +451,33 @@ func (n *Network) resolve(key slotKey, now sim.Cycle) {
 		tx := group[0]
 		// Independent bit errors corrupt the packet with probability
 		// ~bits*BER; an error looks exactly like a collision to the
-		// sender (no confirmation) and is retried the same way.
-		if n.ber > 0 && n.rng.Bool(1-math.Pow(1-n.ber, float64(tx.pkt.Type.Bits()))) {
+		// sender (no confirmation) and is retried the same way. An
+		// attached fault model replaces the flat BER with the
+		// margin-derived, possibly time-varying one.
+		ber := n.ber
+		if n.fault != nil {
+			ber = n.fault.BitErrorRate(tx.src, now)
+		}
+		if ber > 0 && n.rng.Bool(1-math.Pow(1-ber, float64(tx.pkt.Type.Bits()))) {
 			n.stats.BitErrors++
+			if n.fault != nil {
+				// Locate the corruption: header errors break the PID/~PID
+				// match and register as a (single-party) collision — the
+				// paper's own detection path; payload errors pass the
+				// header check and are caught by the modelled CRC, which
+				// triggers the same NACK-free retransmission.
+				headerFrac := float64(pidHeaderBits) / float64(tx.pkt.Type.Bits())
+				if n.rng.Bool(headerFrac) {
+					n.stats.HeaderCorruptions++
+					n.stats.Collisions[l]++
+					n.stats.Collided[l]++
+					if l == LaneData {
+						n.stats.DataByKind[classify(group)]++
+					}
+				} else {
+					n.stats.PayloadCRCErrors++
+				}
+			}
 			tx.attempt++
 			tx.pkt.Retries++
 			if tx.firstSlotEnd == 0 {
@@ -434,7 +486,7 @@ func (n *Network) resolve(key slotKey, now sim.Cycle) {
 			n.backoff(tx, key.slot, now, false)
 			return
 		}
-		n.deliverClean(tx, l, now)
+		n.deliverClean(tx, l, key.slot, now)
 		return
 	}
 	// Collision: the receiver sees the OR of the beams; PID/~PID headers
@@ -531,10 +583,11 @@ func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner 
 		w = 1
 	}
 	// Guard rail: past ~60 retries the exponential window would dwarf any
-	// useful timescale; saturating it keeps worst-case delay bounded
-	// without affecting the common case the paper optimizes.
-	if w > 256 {
-		w = 256
+	// useful timescale; saturating it (at MaxBackoffSlots, default 256)
+	// keeps worst-case delay bounded without affecting the common case
+	// the paper optimizes.
+	if cap := n.backoffCap(); w > cap {
+		w = cap
 	}
 	d := int64(math.Ceil(n.rng.Float64() * w))
 	if d < 1 {
@@ -550,28 +603,51 @@ func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner 
 }
 
 // deliverClean completes a successful transmission: payload delivery at
-// slot end (plus any steering pipeline), confirmation at +ConfirmDelay.
-func (n *Network) deliverClean(tx *transmission, l Lane, now sim.Cycle) {
+// slot end (plus any steering or degradation pipeline), confirmation at
+// +ConfirmDelay. Under fault injection a re-received packet (whose
+// earlier confirmation was lost) is recognized by its ID and discarded —
+// only the confirmation is re-sent — and a freshly lost confirmation
+// parks the sender on the confirmation-timeout retransmission path.
+func (n *Network) deliverClean(tx *transmission, l Lane, slot int64, now sim.Cycle) {
 	p := tx.pkt
-	slotLen := int64(n.cfg.SlotCycles(l))
-	p.NetworkDelay = slotLen + int64(tx.steerExtra)
-	if tx.firstSlotEnd != 0 {
-		p.ResolutionDelay = int64(now - tx.firstSlotEnd)
-	}
-	n.stats.Delivered[l]++
-	deliverAt := now + sim.Cycle(tx.steerExtra)
-	n.engine.At(deliverAt, func(at sim.Cycle) {
-		n.lat.Record(p)
-		n.noteReplyArrival(p, at)
-		if n.deliverFn != nil {
-			n.deliverFn(p, at)
+	extra := tx.steerExtra + tx.degradeExtra
+	deliverAt := now + sim.Cycle(extra)
+	if tx.delivered {
+		n.stats.DuplicateDeliveries++
+	} else {
+		slotLen := int64(n.cfg.SlotCycles(l))
+		p.NetworkDelay = slotLen + int64(extra)
+		if tx.firstSlotEnd != 0 {
+			p.ResolutionDelay = int64(now - tx.firstSlotEnd)
 		}
-	})
+		n.stats.Delivered[l]++
+		n.engine.At(deliverAt, func(at sim.Cycle) {
+			n.lat.Record(p)
+			n.noteReplyArrival(p, at)
+			if n.deliverFn != nil {
+				n.deliverFn(p, at)
+			}
+		})
+	}
+	if n.fault != nil && n.fault.DropConfirm(tx.src, p.Dst, now) {
+		// The payload landed but the sender will never hear so: after the
+		// confirmation timeout it retransmits; the receiver discards the
+		// duplicate above and re-confirms.
+		n.stats.ConfirmDrops++
+		n.stats.TimeoutRetransmits++
+		tx.delivered = true
+		tx.attempt++
+		p.Retries++
+		tx.winner = false
+		tx.retrySlot = slot + n.confirmTimeoutSlots()
+		n.nodes[tx.src].retries[l] = append(n.nodes[tx.src].retries[l], tx)
+		return
+	}
 	n.stats.ConfirmSignals++
 	// The receipt confirmation occupies the receiver node's confirmation
 	// lane; its header-sized payload is a handful of mini-cycles.
-	extra := n.conf.sendDelay(p.Dst, deliverAt, 4)
-	n.engine.At(deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+extra, func(at sim.Cycle) {
+	confExtra := n.conf.sendDelay(p.Dst, deliverAt, 4)
+	n.engine.At(deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+confExtra, func(at sim.Cycle) {
 		if n.confirmFn != nil {
 			n.confirmFn(p, at)
 		}

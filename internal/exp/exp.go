@@ -88,6 +88,7 @@ var Registry = []struct {
 	{"hints", Hints},
 	{"llsc", LLSC},
 	{"corona", Corona},
+	{"faults", Faults},
 }
 
 // Lookup finds a runner by id.

@@ -111,3 +111,25 @@ func TestBenchOptionsAreCheap(t *testing.T) {
 		t.Fatal("bench options must stay small")
 	}
 }
+
+func TestFaultsSweepDegradesMonotonically(t *testing.T) {
+	res := Faults(tiny())
+	// Tiny scale uses the {0, 2, 3.5} dB points; eroding margin must
+	// not improve performance and must raise the retransmission cost.
+	if res.Values["speedup_p0.0"] < res.Values["speedup_p3.5"] {
+		t.Fatalf("speedup rose with lost margin: %.3f -> %.3f",
+			res.Values["speedup_p0.0"], res.Values["speedup_p3.5"])
+	}
+	if res.Values["retrans_p3.5"] <= res.Values["retrans_p0.0"] {
+		t.Fatalf("retransmissions must grow with corruption: %.3f -> %.3f",
+			res.Values["retrans_p0.0"], res.Values["retrans_p3.5"])
+	}
+	if res.Values["bit_errors_p3.5"] == 0 {
+		t.Fatal("3.5 dB must corrupt packets")
+	}
+	for _, key := range []string{"finished_p0.0", "finished_p2.0", "finished_p3.5"} {
+		if res.Values[key] != 1 {
+			t.Fatalf("%s: swept point did not finish (deadlock under faults)", key)
+		}
+	}
+}

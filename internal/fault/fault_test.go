@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"fsoi/internal/core"
+	"fsoi/internal/noc"
+	"fsoi/internal/optics"
+	"fsoi/internal/sim"
+	"fsoi/internal/thermal"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled (pay-for-what-you-use)")
+	}
+	enabled := []Config{
+		{MarginPenaltyDB: 1},
+		{VCSELFailProb: 0.1},
+		{ConfirmDropProb: 0.1},
+		{Thermal: ThermalSpec{Enabled: true}},
+	}
+	for i, c := range enabled {
+		if !c.Enabled() {
+			t.Errorf("config %d should be enabled", i)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{MarginPenaltyDB: 2, VCSELFailProb: 0.1, ConfirmDropProb: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MarginPenaltyDB: -1},
+		{VCSELFailProb: -0.1},
+		{VCSELFailProb: 1},
+		{ConfirmDropProb: 1.5},
+		{Thermal: ThermalSpec{Enabled: true, PowerPerNodeW: 4, DroopDBPerK: 0.02}}, // no tau
+		{Thermal: ThermalSpec{Enabled: true, TauCycles: 1e5, DroopDBPerK: 0.02}},   // no power
+		{Thermal: ThermalSpec{Enabled: true, TauCycles: 1e5, PowerPerNodeW: 4, DroopDBPerK: -1}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestBERDerivesFromLinkBudget(t *testing.T) {
+	netCfg := core.PaperConfig(16)
+	baseQ := optics.PaperLink().Budget().QFactor
+	var prev float64 = -1
+	for _, pen := range []float64{0, 1, 2, 3, 4} {
+		inj := New(Config{MarginPenaltyDB: pen, ConfirmDropProb: 0.01},
+			netCfg, sim.NewRNG(1).NewStream("fault"))
+		got := inj.BitErrorRate(0, 0)
+		want := optics.BERFromQ(baseQ * optics.FromDB(pen))
+		if math.Abs(got-want) > want*1e-9 {
+			t.Fatalf("penalty %g dB: BER %g, want BERFromQ(Q*FromDB) = %g", pen, got, want)
+		}
+		if got <= prev {
+			t.Fatalf("BER must grow with the penalty: %g !> %g at %g dB", got, prev, pen)
+		}
+		prev = got
+	}
+}
+
+func TestMeasuredErrorRateMatchesConfiguredBER(t *testing.T) {
+	// Attach a real injector at 3 dB and hammer the meta lane from one
+	// sender (no collisions): the fraction of corrupted attempts must
+	// match the analytic packet-error probability 1-(1-ber)^72.
+	netCfg := core.PaperConfig(16)
+	netCfg.Opt = core.Optimizations{}
+	engine := sim.NewEngine()
+	n := core.New(netCfg, engine, sim.NewRNG(1))
+	n.SetBitErrorRate(0)
+	n.SetDelivery(func(*noc.Packet, sim.Cycle) {})
+	engine.Register(sim.TickFunc(n.Tick))
+	inj := New(Config{MarginPenaltyDB: 3}, netCfg, sim.NewRNG(2).NewStream("fault"))
+	n.SetFaultModel(inj)
+	for cyc := 0; cyc < 8000; cyc += 2 {
+		n.Send(&noc.Packet{Src: 1, Dst: 2, Type: noc.Meta})
+		engine.Run(2)
+	}
+	engine.Run(1000)
+	st := n.Stats()
+	ber := inj.BitErrorRate(1, 0)
+	want := 1 - math.Pow(1-ber, 72)
+	got := float64(st.BitErrors) / float64(st.Attempts[core.LaneMeta])
+	if st.Attempts[core.LaneMeta] < 2000 {
+		t.Fatalf("only %d attempts, want a real sample", st.Attempts[core.LaneMeta])
+	}
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("measured error rate %.4f vs configured %.4f (>30%% off)", got, want)
+	}
+}
+
+func TestVCSELFailuresKeepLanesAlive(t *testing.T) {
+	netCfg := core.PaperConfig(16)
+	inj := New(Config{VCSELFailProb: 0.5}, netCfg, sim.NewRNG(7).NewStream("fault"))
+	if inj.FailedVCSELs() == 0 || inj.DegradedNodes() == 0 {
+		t.Fatal("50% aging must kill some VCSELs")
+	}
+	sawExtension := false
+	for node := 0; node < netCfg.Nodes; node++ {
+		for _, l := range []core.Lane{core.LaneMeta, core.LaneData} {
+			vcsels := netCfg.MetaVCSELs
+			if l == core.LaneData {
+				vcsels = netCfg.DataVCSELs
+			}
+			if inj.failed[l][node] >= vcsels {
+				t.Fatalf("node %d lane %v lost every VCSEL — lane must survive", node, l)
+			}
+			if ext := inj.SlotExtension(node, l); ext < 0 {
+				t.Fatalf("negative slot extension %d", ext)
+			} else if ext > 0 {
+				sawExtension = true
+			}
+		}
+	}
+	if !sawExtension {
+		t.Fatal("heavy aging must stretch some slot")
+	}
+	c := inj.Counters()
+	if c.Get("vcsels_failed") != int64(inj.FailedVCSELs()) ||
+		c.Get("nodes_degraded") != int64(inj.DegradedNodes()) {
+		t.Fatal("counters disagree with the census")
+	}
+}
+
+func TestThermalDroopRampsOverTime(t *testing.T) {
+	cfg := Config{Thermal: ThermalSpec{
+		Enabled: true, Cooling: thermal.AirCooled,
+		PowerPerNodeW: 4, TauCycles: 50000, DroopDBPerK: 0.05,
+	}}
+	inj := New(cfg, core.PaperConfig(16), sim.NewRNG(1).NewStream("fault"))
+	cold := inj.BitErrorRate(0, 0)
+	warm := inj.BitErrorRate(0, 50000)
+	hot := inj.BitErrorRate(0, 500000)
+	if !(cold < warm && warm < hot) {
+		t.Fatalf("droop must ramp the BER: %g, %g, %g", cold, warm, hot)
+	}
+	// The ramp saturates at the steady-state rise.
+	steadier := inj.BitErrorRate(0, 5000000)
+	if (steadier-hot)/hot > 0.05 {
+		t.Fatalf("ramp should have saturated: %g -> %g", hot, steadier)
+	}
+}
+
+func TestInjectorIsDeterministic(t *testing.T) {
+	build := func() *Injector {
+		return New(Config{VCSELFailProb: 0.2, ConfirmDropProb: 0.3},
+			core.PaperConfig(16), sim.NewRNG(9).NewStream("fault"))
+	}
+	a, b := build(), build()
+	if a.FailedVCSELs() != b.FailedVCSELs() {
+		t.Fatal("VCSEL census must be seed-deterministic")
+	}
+	for i := 0; i < 1000; i++ {
+		if a.DropConfirm(i%16, (i+1)%16, sim.Cycle(i)) != b.DropConfirm(i%16, (i+1)%16, sim.Cycle(i)) {
+			t.Fatalf("confirm-drop sequence diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on an invalid config")
+		}
+	}()
+	New(Config{MarginPenaltyDB: -3}, core.PaperConfig(16), sim.NewRNG(1))
+}

@@ -12,6 +12,7 @@ import (
 	"fsoi/internal/core"
 	"fsoi/internal/corona"
 	"fsoi/internal/cpu"
+	"fsoi/internal/fault"
 	"fsoi/internal/memory"
 	"fsoi/internal/mesh"
 	"fsoi/internal/noc"
@@ -75,6 +76,11 @@ type Config struct {
 	// TracePackets, when positive, keeps the last N delivered packets in
 	// a ring buffer exposed through Trace().
 	TracePackets int
+	// Fault selects the physical-fault models to inject (FSOI only; the
+	// mesh baselines have no optical layer to degrade). The zero value
+	// attaches nothing and leaves every code path and RNG draw identical
+	// to a fault-free build.
+	Fault fault.Config
 }
 
 // Default returns the paper configuration for the given node count and
@@ -120,6 +126,10 @@ type Metrics struct {
 	Energy    power.Breakdown
 	AvgPowerW float64
 
+	// FaultCounters aggregates the injected-fault census and the
+	// resilience events it triggered; nil unless fault injection was on.
+	FaultCounters *stats.CounterSet
+
 	// Traffic and protocol counters aggregated over nodes.
 	MetaPackets   int64
 	DataPackets   int64
@@ -153,6 +163,7 @@ type System struct {
 	mems     map[int]*memory.Controller
 	cores    []*cpu.Core
 	sync     syncFabric
+	injector *fault.Injector
 	finished int
 	pktID    uint64
 	tracer   *noc.Tracer
@@ -253,6 +264,13 @@ func New(cfg Config) *System {
 		fc.Nodes = cfg.Nodes
 		s.fsoi = core.New(fc, s.engine, s.rng)
 		s.net = s.fsoi
+		if cfg.Fault.Enabled() {
+			// The injector's streams derive only when injection is on, so
+			// fault-free runs keep the pre-existing stream genealogy and
+			// stay bit-identical.
+			s.injector = fault.New(cfg.Fault, fc, s.rng.NewStream("fault"))
+			s.fsoi.SetFaultModel(s.injector)
+		}
 	case NetMesh:
 		mc := mesh.PaperMesh(dim)
 		mc.BandwidthFrac = cfg.MeshBandwidthFrac
@@ -432,6 +450,17 @@ func (s *System) collect(app string) Metrics {
 	}
 	if s.fsoi != nil {
 		m.FSOI = s.fsoi.Stats()
+	}
+	if s.injector != nil {
+		m.FaultCounters = s.injector.Counters()
+		st := s.fsoi.Stats()
+		m.FaultCounters.Inc("bit_errors", st.BitErrors)
+		m.FaultCounters.Inc("header_corruptions", st.HeaderCorruptions)
+		m.FaultCounters.Inc("payload_crc_errors", st.PayloadCRCErrors)
+		m.FaultCounters.Inc("confirm_drops", st.ConfirmDrops)
+		m.FaultCounters.Inc("timeout_retransmits", st.TimeoutRetransmits)
+		m.FaultCounters.Inc("duplicate_deliveries", st.DuplicateDeliveries)
+		m.FaultCounters.Inc("degraded_transmissions", st.DegradedTransmissions)
 	}
 	m.ReplyHist = stats.NewHistogram(5, 60)
 	var ops, l1acc, l2acc int64
