@@ -1,0 +1,137 @@
+// Command fsoilint runs the repository's determinism-and-invariant
+// static-analysis suite (internal/lint) over the module.
+//
+// Usage:
+//
+//	fsoilint ./...                 # whole module
+//	fsoilint ./internal/core       # one package
+//	fsoilint -json ./...           # machine-readable output for CI
+//	fsoilint -list                 # describe the analyzers
+//
+// Suppress a finding on one line with a mandatory justification:
+//
+//	total := a + b //lint:allow floateq comparing against an exact sentinel
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fsoi/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := pkgs[:0]
+	for _, p := range pkgs {
+		if matchesAny(loader, p, patterns, wd) {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("fsoilint: no packages match %v", patterns))
+	}
+
+	findings := lint.Run(selected, lint.Analyzers())
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{} // emit [] rather than null for consumers
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "fsoilint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// matchesAny reports whether package p matches one of the argument
+// patterns: "./..." (everything), a "dir/..." subtree, a relative
+// directory, or a plain import path.
+func matchesAny(l *lint.Loader, p *lint.Package, patterns []string, wd string) bool {
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			return true
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if under(l, p, rest, wd) || relOf(l, rest, wd) == p.ModuleRel {
+				return true
+			}
+			continue
+		}
+		if relOf(l, pat, wd) == p.ModuleRel || pat == p.ImportPath {
+			return true
+		}
+	}
+	return false
+}
+
+// relOf normalizes a pattern to a module-relative path.
+func relOf(l *lint.Loader, pat, wd string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	if strings.HasPrefix(pat, l.ModPath+"/") {
+		return strings.TrimPrefix(pat, l.ModPath+"/")
+	}
+	abs := filepath.Join(wd, filepath.FromSlash(pat))
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return pat
+	}
+	return filepath.ToSlash(rel)
+}
+
+// under reports whether p sits inside the subtree named by pattern
+// prefix.
+func under(l *lint.Loader, p *lint.Package, prefix, wd string) bool {
+	rel := relOf(l, prefix, wd)
+	return rel == "." || rel == "" || strings.HasPrefix(p.ModuleRel, rel+"/")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"fsoi/internal/cache"
 	"fsoi/internal/sim"
@@ -180,8 +181,17 @@ func (d *Directory) maybeEvict(exclude cache.LineAddr) {
 	if len(d.entries) <= d.cfg.SliceLines {
 		return
 	}
+	// Walk candidates in address order: the LRU scan must not let map
+	// iteration order pick among equal-lru entries, or two identical runs
+	// can evict different lines.
+	addrs := make([]cache.LineAddr, 0, len(d.entries))
+	for a := range d.entries {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var victim *dirEntry
-	for _, e := range d.entries {
+	for _, a := range addrs {
+		e := d.entries[a]
 		if e.addr == exclude || !e.state.stable() || len(e.pending) > 0 {
 			continue
 		}
@@ -513,8 +523,14 @@ func (d *Directory) onMemAck(m Msg, now sim.Cycle) {
 
 // DumpTransients lists entries stuck in transient states (diagnostics).
 func (d *Directory) DumpTransients(prefix string) string {
+	addrs := make([]cache.LineAddr, 0, len(d.entries))
+	for a := range d.entries {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	out := ""
-	for _, e := range d.entries {
+	for _, a := range addrs {
+		e := d.entries[a]
 		if !e.state.stable() || len(e.pending) > 0 {
 			out += fmt.Sprintf("%s line %x: %v acks=%d pending=%d owner=%d sharers=%x req=%d\n",
 				prefix, uint64(e.addr), e.state, e.acks, len(e.pending), e.owner, e.sharers, e.requester)

@@ -106,13 +106,13 @@ func (f FaultSpec) build() (fault.Config, error) {
 			TauCycles:     f.ThermalTauCycles,
 			DroopDBPerK:   f.DroopDBPerK,
 		}
-		if cfg.Thermal.PowerPerNodeW == 0 {
+		if cfg.Thermal.PowerPerNodeW == 0 { //lint:allow floateq unset-field sentinel: the value is assigned, never computed
 			cfg.Thermal.PowerPerNodeW = 4 // §3.3 evaluates ~4 W/node
 		}
-		if cfg.Thermal.TauCycles == 0 {
+		if cfg.Thermal.TauCycles == 0 { //lint:allow floateq unset-field sentinel: the value is assigned, never computed
 			cfg.Thermal.TauCycles = 100000 // package thermal time constant
 		}
-	} else if f.ThermalCooling != "" || f.ThermalPowerW != 0 || f.ThermalTauCycles != 0 {
+	} else if f.ThermalCooling != "" || f.ThermalPowerW != 0 || f.ThermalTauCycles != 0 { //lint:allow floateq unset-field sentinels on user-assigned spec values
 		return fault.Config{}, fmt.Errorf("config: thermal fields need droop_db_per_k > 0")
 	}
 	if err := cfg.Validate(); err != nil {
@@ -235,7 +235,7 @@ func (s Spec) AppAndScale() (string, float64) {
 		app = "jacobi"
 	}
 	scale := s.Scale
-	if scale == 0 {
+	if scale == 0 { //lint:allow floateq unset-field sentinel: scale is assigned, never computed
 		scale = 0.5
 	}
 	return app, scale

@@ -67,8 +67,10 @@ func (c *confLane) sendDelay(src int, now sim.Cycle, minis int) sim.Cycle {
 // lane, returning the offset or -1 when every offset is taken. An
 // existing reservation by the same subscriber is returned unchanged.
 func (c *confLane) reserve(owner, subscriber int) int {
-	for off, sub := range c.reserved[owner] {
-		if sub == subscriber {
+	// Scan offsets in numeric order rather than ranging the reservation
+	// map: an existing reservation must be found the same way every run.
+	for off := 1; off < c.miniPerCycle; off++ {
+		if sub, ok := c.reserved[owner][off]; ok && sub == subscriber {
 			return off
 		}
 	}

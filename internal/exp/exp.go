@@ -421,10 +421,11 @@ func Fig10(o Options) Result {
 				}
 			})
 			st := m.FSOI
-			total := float64(st.DataByKind[0] + st.DataByKind[1] + st.DataByKind[2] + st.DataByKind[3])
-			if total == 0 {
-				total = 1
+			kinds := st.DataByKind[0] + st.DataByKind[1] + st.DataByKind[2] + st.DataByKind[3]
+			if kinds == 0 {
+				kinds = 1
 			}
+			total := float64(kinds)
 			name := "base"
 			if on {
 				name = "opt"

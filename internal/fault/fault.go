@@ -78,8 +78,8 @@ type Config struct {
 // injector construction entirely when false so that fault-free runs stay
 // bit-identical to builds without this package.
 func (c Config) Enabled() bool {
-	return c.MarginPenaltyDB != 0 || c.VCSELFailProb != 0 ||
-		c.ConfirmDropProb != 0 || c.Thermal.Enabled
+	return c.MarginPenaltyDB != 0 || c.VCSELFailProb != 0 || //lint:allow floateq zero-value-off sentinels on assigned config fields
+		c.ConfirmDropProb != 0 || c.Thermal.Enabled //lint:allow floateq zero-value-off sentinel on an assigned config field
 }
 
 // Validate reports configuration errors.
@@ -257,7 +257,7 @@ func (inj *Injector) SlotExtension(src int, l core.Lane) int {
 // DropConfirm implements core.FaultModel: whether this packet's
 // confirmation beam is lost.
 func (inj *Injector) DropConfirm(src, dst int, now sim.Cycle) bool {
-	if inj.cfg.ConfirmDropProb == 0 {
+	if inj.cfg.ConfirmDropProb == 0 { //lint:allow floateq zero-value-off sentinel; the guard also preserves RNG stream genealogy
 		return false
 	}
 	return inj.confirmRNG.Bool(inj.cfg.ConfirmDropProb)

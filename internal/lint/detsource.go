@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource forbids nondeterministic inputs inside simulation packages:
+// wall-clock time, the global math/rand generator, environment lookups,
+// and host-scheduler constructs (goroutines, select). Simulated state
+// must be a pure function of the configuration and its seed; any of
+// these leaks host state into the run and silently breaks the
+// bit-identical-replay guarantee.
+type DetSource struct{}
+
+// Name implements Analyzer.
+func (DetSource) Name() string { return "detsource" }
+
+// Doc implements Analyzer.
+func (DetSource) Doc() string {
+	return "forbids wall-clock time, global math/rand, env lookups, goroutines, and select in simulation packages"
+}
+
+// bannedCalls maps package path -> function name -> the remedy text.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":       "derive timing from sim.Engine cycles",
+		"Since":     "derive durations from sim.Cycle arithmetic",
+		"Until":     "derive durations from sim.Cycle arithmetic",
+		"Sleep":     "schedule a callback with Engine.After instead of blocking",
+		"After":     "schedule a callback with Engine.After instead of a timer channel",
+		"Tick":      "register a sim.TickFunc instead of a ticker",
+		"NewTimer":  "schedule a callback with Engine.After instead of a timer",
+		"NewTicker": "register a sim.TickFunc instead of a ticker",
+		"AfterFunc": "schedule a callback with Engine.After",
+	},
+	"os": {
+		"Getenv":    "thread configuration through the package's Config struct",
+		"LookupEnv": "thread configuration through the package's Config struct",
+		"Environ":   "thread configuration through the package's Config struct",
+		"ExpandEnv": "thread configuration through the package's Config struct",
+	},
+}
+
+// Check implements Analyzer.
+func (DetSource) Check(p *Package) []Finding {
+	if !isSimPackage(p.ModuleRel) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, finding(p, "detsource", n,
+					"goroutine launched in simulation package %s: the simulator is single-threaded; host scheduling is nondeterministic", p.ModuleRel))
+			case *ast.SelectStmt:
+				out = append(out, finding(p, "detsource", n,
+					"select statement in simulation package %s: channel readiness depends on the host scheduler; drive everything from the event queue", p.ModuleRel))
+			case *ast.SelectorExpr:
+				obj := p.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				pkgPath := obj.Pkg().Path()
+				if remedy, ok := bannedCalls[pkgPath][obj.Name()]; ok {
+					out = append(out, finding(p, "detsource", n,
+						"use of %s.%s in simulation package %s: %s", pkgPath, obj.Name(), p.ModuleRel, remedy))
+				}
+				if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+					out = append(out, finding(p, "detsource", n,
+						"use of %s.%s in simulation package %s: draw from a named stream ((*sim.RNG).NewStream) so replays stay bit-identical", pkgPath, obj.Name(), p.ModuleRel))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// RNGStream requires all randomness to flow through internal/sim's
+// named-stream API everywhere in the module (not just the simulation
+// packages). Constructing or seeding a generator from math/rand
+// bypasses the stream-genealogy discipline that makes sweeps
+// reproducible, so any use of math/rand outside internal/sim is an
+// error.
+type RNGStream struct{}
+
+// Name implements Analyzer.
+func (RNGStream) Name() string { return "rngstream" }
+
+// Doc implements Analyzer.
+func (RNGStream) Doc() string {
+	return "requires all randomness to flow through internal/sim named streams; math/rand is banned outside internal/sim"
+}
+
+// rngPackages are the generator packages the analyzer bans.
+var rngPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Check implements Analyzer.
+func (RNGStream) Check(p *Package) []Finding {
+	if p.ModuleRel == "internal/sim" || isUnder(p.ModuleRel, "internal/sim") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := importPathOf(imp)
+			if rngPackages[path] {
+				out = append(out, finding(p, "rngstream", imp,
+					"import of %s: all randomness must flow through fsoi/internal/sim named streams (sim.NewRNG at the root, NewStream below)", path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !rngPackages[obj.Pkg().Path()] {
+				return true
+			}
+			remedy := "replace with a (*sim.RNG) stream draw"
+			switch obj.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8":
+				remedy = "derive a generator with (*sim.RNG).NewStream(name) instead"
+			case "Seed":
+				remedy = "seeding a global generator breaks stream genealogy; seed only via sim.NewRNG(cfg.Seed)"
+			}
+			out = append(out, finding(p, "rngstream", sel,
+				"use of %s.%s: %s", obj.Pkg().Path(), obj.Name(), remedy))
+			return true
+		})
+	}
+	return out
+}
+
+// isUnder reports whether rel is strictly inside the package root.
+func isUnder(rel, root string) bool {
+	return len(rel) > len(root) && rel[:len(root)] == root && rel[len(root)] == '/'
+}
+
+// importPathOf unquotes an import spec's path.
+func importPathOf(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// objType returns the object's type, or nil.
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}

@@ -1,0 +1,208 @@
+// Package lint is the repository's determinism-and-invariant static
+// analysis suite. The simulator's core claim — bit-identical results
+// for identical seeds — rests on conventions (named RNG streams, no
+// wall-clock time, no map-iteration order leaking into simulated state)
+// that this package turns from reviewer vigilance into machine-checked
+// invariants. It is built only on the standard library's go/ast,
+// go/parser, and go/types; the module keeps its zero-dependency
+// property.
+//
+// Findings can be suppressed per line with a justification:
+//
+//	x := compute() //lint:allow floateq exact sentinel set two lines up
+//
+// The comment may also sit alone on the line directly above the
+// offending one. The reason is mandatory: an allow without one is
+// itself a finding, as is an allow that no longer suppresses anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one checkable invariant.
+type Analyzer interface {
+	// Name is the identifier used in reports and //lint:allow comments.
+	Name() string
+	// Doc is a one-line description of what the analyzer forbids.
+	Doc() string
+	// Check reports every violation in the package.
+	Check(p *Package) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{DetSource{}, MapOrder{}, RNGStream{}, FloatEq{}}
+}
+
+// simPackages are the module-relative package roots whose code runs
+// inside the simulated clock domain. Determinism rules are strict here:
+// simulated state must never observe host time, host scheduling, or
+// unnamed randomness. Subdirectories inherit the classification.
+var simPackages = []string{
+	"internal/core",
+	"internal/sim",
+	"internal/coherence",
+	"internal/system",
+	"internal/mesh",
+	"internal/fault",
+	"internal/cpu",
+	"internal/workload",
+}
+
+// isSimPackage reports whether the module-relative path rel is (or is
+// nested under) a simulation package.
+func isSimPackage(rel string) bool {
+	for _, p := range simPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// finding builds a Finding for node n in package p.
+func finding(p *Package, analyzer string, n ast.Node, format string, args ...any) Finding {
+	pos := p.Fset.Position(n.Pos())
+	return Finding{
+		Analyzer: analyzer,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// allow is one parsed //lint:allow directive.
+type allow struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the package.
+// Malformed directives (missing analyzer or missing reason) are
+// reported immediately as findings from the pseudo-analyzer "lint".
+func collectAllows(p *Package, known map[string]bool) (allows []*allow, bad []Finding) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "lint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				if !known[fields[0]] {
+					bad = append(bad, Finding{
+						Analyzer: "lint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("suppression names unknown analyzer %q", fields[0]),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("suppression of %q has no reason: a justification is mandatory", fields[0]),
+					})
+					continue
+				}
+				allows = append(allows, &allow{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Run executes the analyzers over the packages and applies suppression
+// directives. It returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		allows, bad := collectAllows(p, known)
+		out = append(out, bad...)
+
+		// An allow on line N suppresses findings of its analyzer on
+		// line N (trailing comment) and line N+1 (comment above).
+		byKey := make(map[string][]*allow)
+		key := func(file string, line int, analyzer string) string {
+			return fmt.Sprintf("%s\x00%d\x00%s", file, line, analyzer)
+		}
+		for _, a := range allows {
+			byKey[key(a.file, a.line, a.analyzer)] = append(byKey[key(a.file, a.line, a.analyzer)], a)
+			byKey[key(a.file, a.line+1, a.analyzer)] = append(byKey[key(a.file, a.line+1, a.analyzer)], a)
+		}
+
+		for _, a := range analyzers {
+			for _, f := range a.Check(p) {
+				matched := false
+				for _, al := range byKey[key(f.File, f.Line, f.Analyzer)] {
+					al.used = true
+					matched = true
+				}
+				if !matched {
+					out = append(out, f)
+				}
+			}
+		}
+		for _, al := range allows {
+			if !al.used {
+				out = append(out, Finding{
+					Analyzer: "lint", File: al.file, Line: al.line, Col: 1,
+					Message: fmt.Sprintf("unused suppression of %q: the code it excused is gone, delete the comment", al.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose loop body leaks the
+// (deliberately randomized) iteration order into observable state:
+// appending to a slice that is never sorted, accumulating floats,
+// last-writer-wins assignments, drawing from an RNG, returning early,
+// or sending on a channel. Order-independent bodies are recognized and
+// allowed without annotation:
+//
+//   - pure reads;
+//   - integer accumulation with commutative operators (+=, -=, *=,
+//     |=, &=, ^=, ++, --), whose result is the same in any order;
+//   - writes indexed by the loop key (each key is visited exactly
+//     once, so element-wise map merges are safe);
+//   - delete(m, k) of the loop key;
+//   - assigning a constant (`found = true`);
+//   - monotone min/max reductions (`if v > best { best = v }` and
+//     `best = max(best, v)`);
+//   - appends into a slice that the same function sorts after the
+//     loop — the canonical iterate-over-sorted-keys idiom.
+//
+// The analyzer is intraprocedural: a body that mutates outside state
+// through an opaque call is not seen. It exists to catch the common
+// shapes, not to replace review.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (MapOrder) Doc() string {
+	return "flags map iteration whose body order-dependently mutates state, feeds an RNG, or appends without sorting"
+}
+
+// Check implements Analyzer.
+func (MapOrder) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRangeStmt(p, rs) {
+				return true
+			}
+			out = append(out, checkMapRange(p, rs, enclosingFuncBody(stack))...)
+			return true
+		})
+	}
+	return out
+}
+
+// isMapRangeStmt reports whether rs ranges over a map value.
+func isMapRangeStmt(p *Package, rs *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// containing the top of the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange analyzes one map-range statement.
+func checkMapRange(p *Package, rs *ast.RangeStmt, fnBody *ast.BlockStmt) []Finding {
+	var out []Finding
+	keyObj := identObj(p, rs.Key)
+	valObj := identObj(p, rs.Value)
+
+	inLoop := func(pos token.Pos) bool { return rs.Pos() <= pos && pos < rs.End() }
+	outside := func(obj types.Object) bool {
+		return obj != nil && !inLoop(obj.Pos())
+	}
+
+	// Appends into outside slices are hazards unless the function sorts
+	// the slice after the loop; collect first, decide after the walk.
+	var appends []pendingAppend
+
+	reductions := monotoneReductions(p, rs.Body)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := ast.Expr(nil)
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				out = append(out, checkWrite(p, rs, n, lhs, rhs, n.Tok, outside, keyObj, reductions, &appends)...)
+			}
+		case *ast.IncDecStmt:
+			obj := rootObj(p, n.X)
+			if !outside(obj) {
+				return true
+			}
+			if isFloatExpr(p, n.X) {
+				out = append(out, finding(p, "maporder", n,
+					"floating-point update of %s inside map iteration: accumulation order changes the result bits; iterate over sorted keys", exprString(n.X)))
+			}
+			// Integer ++/-- commutes; safe.
+		case *ast.SendStmt:
+			out = append(out, finding(p, "maporder", n,
+				"channel send inside map iteration publishes elements in map order; iterate over sorted keys"))
+		case *ast.ReturnStmt:
+			if refersTo(p, n, keyObj) || refersTo(p, n, valObj) {
+				out = append(out, finding(p, "maporder", n,
+					"return inside map iteration selects an order-dependent element; iterate over sorted keys and pick deterministically"))
+			}
+		case *ast.CallExpr:
+			if isRNGCall(p, n) {
+				out = append(out, finding(p, "maporder", n,
+					"random draw inside map iteration: the stream advances in map order; iterate over sorted keys"))
+			}
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if sortedAfter(p, fnBody, rs, a.obj) {
+			continue
+		}
+		out = append(out, finding(p, "maporder", a.node,
+			"append to %s inside map iteration: element order follows map order; sort the slice afterwards or iterate over sorted keys", a.name))
+	}
+	return out
+}
+
+// pendingAppend is an append into an outside slice awaiting the
+// sorted-after check.
+type pendingAppend struct {
+	obj  types.Object
+	node ast.Node
+	name string
+}
+
+// checkWrite classifies one assignment target inside a map-range body.
+func checkWrite(p *Package, rs *ast.RangeStmt, stmt *ast.AssignStmt, lhs, rhs ast.Expr, tok token.Token,
+	outside func(types.Object) bool, keyObj types.Object, reductions map[*ast.AssignStmt]bool,
+	appends *[]pendingAppend) []Finding {
+
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return nil
+	}
+	obj := rootObj(p, lhs)
+	if !outside(obj) {
+		return nil
+	}
+
+	// x = append(x, ...) is deferred to the sorted-after check.
+	if call, ok := rhs.(*ast.CallExpr); ok && tok == token.ASSIGN && isBuiltin(p, call.Fun, "append") {
+		*appends = append(*appends, pendingAppend{obj, stmt, exprString(lhs)})
+		return nil
+	}
+
+	// Writes indexed by the loop key touch each key once: order-free.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if id, ok := idx.Index.(*ast.Ident); ok && keyObj != nil && p.Info.Uses[id] == keyObj {
+			return nil
+		}
+	}
+
+	switch tok {
+	case token.ASSIGN:
+		if rhs != nil {
+			tv := p.Info.Types[rhs]
+			if tv.Value != nil || tv.IsNil() {
+				return nil // assigning a constant: any order wins the same value
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && (isBuiltin(p, call.Fun, "max") || isBuiltin(p, call.Fun, "min")) && callMentions(p, call, obj) {
+				return nil // best = max(best, v): commutative reduction
+			}
+		}
+		if reductions[stmt] {
+			return nil // if v > best { best = v }
+		}
+		return []Finding{finding(p, "maporder", stmt,
+			"assignment to %s inside map iteration: the surviving value depends on map order; iterate over sorted keys", exprString(lhs))}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if isFloatExpr(p, lhs) {
+			return []Finding{finding(p, "maporder", stmt,
+				"floating-point accumulation into %s inside map iteration: summation order changes the result bits; iterate over sorted keys", exprString(lhs))}
+		}
+		if isStringExpr(p, lhs) {
+			return []Finding{finding(p, "maporder", stmt,
+				"string concatenation into %s inside map iteration emits elements in map order; iterate over sorted keys", exprString(lhs))}
+		}
+		return nil // integer accumulation commutes
+	default:
+		return []Finding{finding(p, "maporder", stmt,
+			"non-commutative update (%s) of %s inside map iteration depends on map order; iterate over sorted keys", tok, exprString(lhs))}
+	}
+}
+
+// monotoneReductions finds `if x CMP y { v = ... }` bodies whose single
+// assignment writes a variable used in the comparison — the min/max
+// idiom, which is order-independent.
+func monotoneReductions(p *Package, body *ast.BlockStmt) map[*ast.AssignStmt]bool {
+	out := make(map[*ast.AssignStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		asg, ok := ifs.Body.List[0].(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 {
+			return true
+		}
+		lhsObj := rootObj(p, asg.Lhs[0])
+		if lhsObj == nil {
+			return true
+		}
+		if exprMentions(p, cond.X, lhsObj) || exprMentions(p, cond.Y, lhsObj) {
+			out[asg] = true
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether fnBody sorts the slice held by obj at a
+// position after the range statement.
+func sortedAfter(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.Info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sorter := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+				sorter = true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+				sorter = true
+			}
+		}
+		if sorter && rootObj(p, call.Args[0]) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isRNGCall reports whether call invokes a method on internal/sim's RNG
+// or Zipf types.
+func isRNGCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	return strings.HasSuffix(pkg, "internal/sim") && (name == "RNG" || name == "Zipf")
+}
+
+// identObj resolves a range clause ident (key or value) to its object.
+func identObj(p *Package, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// rootObj unwraps selectors, indexes, derefs, and parens down to the
+// base identifier's object.
+func rootObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := p.Info.Uses[v]; o != nil {
+				return o
+			}
+			return p.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltin reports whether fun denotes the named Go builtin.
+func isBuiltin(p *Package, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := p.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// callMentions reports whether any argument of call refers to obj.
+func callMentions(p *Package, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		if exprMentions(p, a, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprMentions reports whether e contains an identifier bound to obj.
+func exprMentions(p *Package, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// refersTo reports whether node mentions obj anywhere.
+func refersTo(p *Package, node ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isFloatExpr reports whether e has floating-point (or complex) type.
+func isFloatExpr(p *Package, e ast.Expr) bool {
+	return isFloat(p.Info.Types[e].Type)
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(p *Package, e ast.Expr) bool {
+	tv := p.Info.Types[e]
+	if tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exprString renders a short source form of e for messages.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

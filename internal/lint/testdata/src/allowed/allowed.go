@@ -1,0 +1,20 @@
+// Package main mirrors cmd/experiments: measuring the wall time of a
+// whole experiment, goroutines, and select are all fine outside the
+// simulation packages. Linted under the virtual import path
+// fsoi/cmd/experiments; the harness asserts zero findings.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	select {
+	case <-done:
+	}
+	fmt.Println(time.Since(start))
+}

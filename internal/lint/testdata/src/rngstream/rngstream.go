@@ -1,0 +1,26 @@
+// Package rngfix seeds direct math/rand use outside internal/sim.
+// Linted under the virtual import path fsoi/internal/exp — outside the
+// simulation packages, where detsource stays quiet but rngstream still
+// bans constructing or seeding generators directly.
+package rngfix
+
+import (
+	"math/rand" // want "rngstream: import of math/rand"
+
+	"fsoi/internal/sim"
+)
+
+func direct() float64 {
+	r := rand.New(rand.NewSource(1)) // want "rngstream: use of math/rand.New" "rngstream: use of math/rand.NewSource"
+	return r.Float64()               // want "rngstream: use of math/rand.Float64"
+}
+
+func global() int {
+	return rand.Intn(16) // want "rngstream: use of math/rand.Intn"
+}
+
+// blessed is the sanctioned path: derive a named stream from the
+// configuration seed.
+func blessed(seed uint64) float64 {
+	return sim.NewRNG(seed).NewStream("exp").Float64()
+}

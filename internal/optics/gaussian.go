@@ -20,7 +20,7 @@ type GaussianBeam struct {
 // which the beam stays roughly collimated.
 func (b GaussianBeam) RayleighRange() float64 {
 	n := b.Index
-	if n == 0 {
+	if n == 0 { //lint:allow floateq unset-field sentinel: Index is assigned, never computed
 		n = 1
 	}
 	return math.Pi * b.Waist * b.Waist * n / b.Wavelength
@@ -37,7 +37,7 @@ func (b GaussianBeam) RadiusAt(z float64) float64 {
 // Divergence returns the far-field half-angle divergence lambda/(pi w0 n).
 func (b GaussianBeam) Divergence() float64 {
 	n := b.Index
-	if n == 0 {
+	if n == 0 { //lint:allow floateq unset-field sentinel: Index is assigned, never computed
 		n = 1
 	}
 	return b.Wavelength / (math.Pi * b.Waist * n)

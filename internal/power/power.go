@@ -143,7 +143,7 @@ func (p Params) FSOIEnergy(a Activity) Breakdown {
 // AveragePower converts a breakdown back to watts over the run.
 func (p Params) AveragePower(b Breakdown, cycles sim.Cycle) float64 {
 	s := p.seconds(cycles)
-	if s == 0 {
+	if s == 0 { //lint:allow floateq exact zero only when cycles is zero; guards the division
 		return 0
 	}
 	return b.Total() / s

@@ -91,7 +91,7 @@ func (r *RNG) Bool(p float64) bool {
 // Exp returns an exponentially distributed value with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()
-	for u == 0 {
+	for u == 0 { //lint:allow floateq exact-zero rejection sampling: log(0) is the only excluded point
 		u = r.Float64()
 	}
 	return -mean * math.Log(u)
