@@ -1,0 +1,190 @@
+// Command benchtrend snapshots the repository's performance trajectory.
+// Each invocation measures the engine hot path with testing.Benchmark
+// and times a representative slice of the experiment registry at bench
+// scale, then writes BENCH_<n>.json next to the previous snapshots so
+// the ns/op, allocs/op, and wall-clock history is machine-readable
+// across PRs.
+//
+// Usage:
+//
+//	benchtrend              # writes BENCH_<next>.json in the cwd
+//	benchtrend -n 0 -dir .  # explicit index and directory
+//	benchtrend -j 4         # experiment timings with 4 workers
+//
+// Engine numbers are scheduler-independent; experiment wall-clock
+// depends on -j and the host, so snapshots record both alongside
+// GOMAXPROCS for honest comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"fsoi/internal/exp"
+	"fsoi/internal/parallel"
+	"fsoi/internal/sim"
+)
+
+// engineBench is one testing.Benchmark measurement of the event queue.
+type engineBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// expBench is one registry experiment timed at bench scale.
+type expBench struct {
+	WallSeconds float64            `json:"wall_seconds"`
+	Values      map[string]float64 `json:"values"`
+}
+
+// snapshot is the schema of one BENCH_<n>.json file. Map keys marshal
+// sorted, so diffs between snapshots stay stable.
+type snapshot struct {
+	Index       int                    `json:"index"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Workers     int                    `json:"workers"`
+	Engine      map[string]engineBench `json:"engine"`
+	Experiments map[string]expBench    `json:"experiments"`
+}
+
+// benchSchedule mirrors BenchmarkEngineSchedule in internal/sim: a
+// rolling window of timed callbacks, the FSOI slot machinery's access
+// pattern. The slab-backed queue must hold 0 allocs/op here.
+func benchSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	fn := func(sim.Cycle) {}
+	for i := 0; i < 1024; i++ {
+		e.After(sim.Cycle(i%17), fn)
+	}
+	e.Run(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Cycle(i%7+1), fn)
+		if i%64 == 63 {
+			e.Run(8)
+		}
+	}
+	b.StopTimer()
+	e.Run(16)
+}
+
+// benchChurn mirrors BenchmarkEngineChurn: 4096 pending events with
+// continuous push/pop churn, where heap arity dominates.
+func benchChurn(b *testing.B) {
+	e := sim.NewEngine()
+	var fn func(now sim.Cycle)
+	fn = func(now sim.Cycle) { e.After(sim.Cycle(int(now)%31+1), fn) }
+	for i := 0; i < 4096; i++ {
+		e.After(sim.Cycle(i%63+1), fn)
+	}
+	e.Run(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(sim.Cycle(b.N))
+}
+
+// trackedExperiments is the registry slice each snapshot times: the
+// cheap analytic table, one simulation-light figure, and the heavy
+// app×network grids that the parallel layer exists to accelerate.
+var trackedExperiments = []string{"table1", "fig5", "fig6", "fig8", "faults"}
+
+// nextIndex scans dir for BENCH_<n>.json files and returns max+1 (0 on
+// a clean directory).
+func nextIndex(dir string) (int, error) {
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	for _, e := range entries {
+		m := re.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n+1 > next {
+			next = n + 1
+		}
+	}
+	return next, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json history")
+	index := flag.Int("n", -1, "snapshot index (-1 = one past the highest existing)")
+	jobs := flag.Int("j", 1, "concurrent simulations for experiment timings (0 = one per CPU)")
+	flag.Parse()
+
+	n := *index
+	if n < 0 {
+		var err error
+		if n, err = nextIndex(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	snap := snapshot{
+		Index:      n,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(*jobs),
+		Engine: map[string]engineBench{
+			"schedule": record(testing.Benchmark(benchSchedule)),
+			"churn":    record(testing.Benchmark(benchChurn)),
+		},
+		Experiments: make(map[string]expBench, len(trackedExperiments)),
+	}
+
+	o := exp.BenchOptions()
+	o.Workers = snap.Workers
+	for _, id := range trackedExperiments {
+		runner, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtrend: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := runner(o)
+		snap.Experiments[id] = expBench{
+			WallSeconds: time.Since(start).Seconds(),
+			Values:      res.Values,
+		}
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (engine schedule %.1f ns/op, %d allocs/op)\n",
+		path, snap.Engine["schedule"].NsPerOp, snap.Engine["schedule"].AllocsPerOp)
+}
+
+// record converts a testing.BenchmarkResult to the snapshot schema.
+func record(r testing.BenchmarkResult) engineBench {
+	return engineBench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}

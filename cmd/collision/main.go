@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"fsoi/internal/analytic"
+	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
 	"fsoi/internal/stats"
 )
@@ -24,7 +25,9 @@ func main() {
 	g := flag.Float64("g", 0.01, "background transmission probability per slot")
 	trials := flag.Int("trials", 50000, "Monte Carlo trials")
 	seed := flag.Uint64("seed", 1, "random seed")
+	jobs := flag.Int("j", 1, "concurrent Monte Carlo shards (0 = one per CPU); output is identical at any setting")
 	flag.Parse()
+	workers := parallel.Workers(*jobs)
 
 	rng := sim.NewRNG(*seed)
 	switch *mode {
@@ -36,7 +39,7 @@ func main() {
 				row = append(row, fmt.Sprintf("%.4f",
 					analytic.PacketCollisionProbability(analytic.CollisionParams{N: *n, R: r, P: p})))
 			}
-			pkt, node := analytic.MonteCarloCollision(analytic.CollisionParams{N: *n, R: 2, P: p}, rng, *trials)
+			pkt, node := analytic.MonteCarloCollision(analytic.CollisionParams{N: *n, R: 2, P: p}, rng, *trials, workers)
 			row = append(row, fmt.Sprintf("%.4f", pkt), fmt.Sprintf("%.4f", node))
 			t.AddRow(row...)
 		}
@@ -44,7 +47,7 @@ func main() {
 	case "fig4":
 		ws := []float64{1.5, 2.0, 2.7, 3.0, 4.0, 5.0}
 		bs := []float64{1.05, 1.1, 1.2, 1.5, 2.0}
-		surf := analytic.ResolutionDelaySurface(ws, bs, *g, rng, *trials)
+		surf := analytic.ResolutionDelaySurface(ws, bs, *g, rng, *trials, workers)
 		header := []string{"W \\ B"}
 		for _, b := range bs {
 			header = append(header, fmt.Sprintf("%.2f", b))
@@ -58,12 +61,12 @@ func main() {
 			t.AddRow(row...)
 		}
 		fmt.Print(t.String())
-		w, b, d := analytic.OptimalWB(ws, bs, *g, rng, *trials)
+		w, b, d := analytic.OptimalWB(ws, bs, *g, rng, *trials, workers)
 		fmt.Printf("\noptimum on grid: W=%.1f B=%.2f -> %.2f cycles (paper: 2.7/1.1 -> 7.26)\n", w, b, d)
 	case "patho":
 		for _, b := range []float64{1.1, 2.0} {
 			m := analytic.BackoffModel{W: 2.7, B: b, SlotCycles: 2}
-			res := m.Pathological(rng.NewStream(fmt.Sprint(b)), *n, 2, 200, 1<<17)
+			res := m.Pathological(rng.NewStream(fmt.Sprint(b)), *n, 2, 200, 1<<17, workers)
 			fmt.Printf("B=%.1f: first packet through after %.1f retries, %.0f cycles (resolved=%v)\n",
 				b, res.MeanRetriesFirst, res.MeanCyclesFirst, res.Resolved)
 		}

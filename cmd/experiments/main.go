@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fsoi/internal/exp"
+	"fsoi/internal/parallel"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	trials := flag.Int("trials", 30000, "Monte Carlo trials")
 	apps := flag.String("apps", "", "comma-separated app subset (default: all sixteen)")
+	jobs := flag.Int("j", 1, "concurrent simulations (0 = one per CPU); output is identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -38,7 +40,7 @@ func main() {
 		return
 	}
 
-	o := exp.Options{Scale: *scale, Seed: *seed, Trials: *trials}
+	o := exp.Options{Scale: *scale, Seed: *seed, Trials: *trials, Workers: parallel.Workers(*jobs)}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}

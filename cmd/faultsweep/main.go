@@ -23,6 +23,7 @@ import (
 
 	"fsoi/internal/exp"
 	"fsoi/internal/fault"
+	"fsoi/internal/parallel"
 	"fsoi/internal/thermal"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale factor (1.0 = full size)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	apps := flag.String("apps", "", "comma-separated app subset (default: all sixteen)")
+	jobs := flag.Int("j", 1, "concurrent simulations (0 = one per CPU); output is identical at any setting")
 	penalties := flag.String("penalties", "0,1,2,2.5,3,3.5", "margin penalties to sweep, dB")
 	confirmDrop := flag.Float64("confirm-drop", 0.01, "confirmation-beam drop probability")
 	vcselFail := flag.Float64("vcsel-fail", 0.02, "per-VCSEL start-of-life failure probability")
@@ -68,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := exp.Options{Scale: *scale, Seed: *seed}
+	o := exp.Options{Scale: *scale, Seed: *seed, Workers: parallel.Workers(*jobs)}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}

@@ -42,7 +42,7 @@ func main() {
 	for _, b := range []float64{1.05, 1.1, 1.5, 2.0} {
 		model := analytic.PaperBackoff(0.01)
 		model.B = b
-		fmt.Printf("   B=%.2f  %.2f cycles\n", b, model.MeanResolutionDelay(rng.NewStream(fmt.Sprint(b)), 20000))
+		fmt.Printf("   B=%.2f  %.2f cycles\n", b, model.MeanResolutionDelay(rng.NewStream(fmt.Sprint(b)), 20000, 1))
 	}
 
 	// 4. Cross-check against the full system: measured meta-lane

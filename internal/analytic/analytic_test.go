@@ -13,7 +13,7 @@ func TestCollisionFormulaMatchesMonteCarlo(t *testing.T) {
 	for _, r := range []int{1, 2, 3} {
 		for _, p := range []float64{0.05, 0.15, 0.33} {
 			c := CollisionParams{N: 16, R: r, P: p}
-			mcPkt, mcNode := MonteCarloCollision(c, rng, 40000)
+			mcPkt, mcNode := MonteCarloCollision(c, rng, 40000, 1)
 			anPkt := PacketCollisionProbability(c)
 			anNode := NodeCollisionProbability(c)
 			if math.Abs(mcPkt-anPkt) > 0.02 {
@@ -111,8 +111,8 @@ func TestBackoffPaperPointBeatsClassicDoubling(t *testing.T) {
 	paper := PaperBackoff(0.01)
 	classic := paper
 	classic.B = 2
-	dPaper := paper.MeanResolutionDelay(rng.NewStream("a"), 30000)
-	dClassic := classic.MeanResolutionDelay(rng.NewStream("b"), 30000)
+	dPaper := paper.MeanResolutionDelay(rng.NewStream("a"), 30000, 1)
+	dClassic := classic.MeanResolutionDelay(rng.NewStream("b"), 30000, 1)
 	if dPaper >= dClassic {
 		t.Fatalf("B=1.1 delay %.2f should beat B=2 delay %.2f in the common case", dPaper, dClassic)
 	}
@@ -122,7 +122,7 @@ func TestBackoffDelayReasonableRange(t *testing.T) {
 	// The paper computes 7.26 cycles and simulates ~7.4 for W=2.7 B=1.1;
 	// our slot-level model should land in the same neighbourhood.
 	rng := sim.NewRNG(7)
-	d := PaperBackoff(0.01).MeanResolutionDelay(rng, 30000)
+	d := PaperBackoff(0.01).MeanResolutionDelay(rng, 30000, 1)
 	if d < 4 || d > 11 {
 		t.Fatalf("mean resolution delay %.2f outside the plausible band", d)
 	}
@@ -131,8 +131,8 @@ func TestBackoffDelayReasonableRange(t *testing.T) {
 func TestBackoffBackgroundInsensitive(t *testing.T) {
 	// Figure 4: background rates of 1% and 10% barely move the optimum.
 	rng := sim.NewRNG(9)
-	d1 := PaperBackoff(0.01).MeanResolutionDelay(rng.NewStream("a"), 30000)
-	d10 := PaperBackoff(0.10).MeanResolutionDelay(rng.NewStream("b"), 30000)
+	d1 := PaperBackoff(0.01).MeanResolutionDelay(rng.NewStream("a"), 30000, 1)
+	d10 := PaperBackoff(0.10).MeanResolutionDelay(rng.NewStream("b"), 30000, 1)
 	if d10 < d1 {
 		t.Fatalf("more background should not reduce delay: %.2f vs %.2f", d1, d10)
 	}
@@ -145,7 +145,7 @@ func TestBackoffOptimumLocation(t *testing.T) {
 	rng := sim.NewRNG(11)
 	ws := []float64{1.5, 2.0, 2.7, 3.5, 4.5}
 	bs := []float64{1.05, 1.1, 1.3, 1.6, 2.0}
-	w, b, _ := OptimalWB(ws, bs, 0.01, rng, 8000)
+	w, b, _ := OptimalWB(ws, bs, 0.01, rng, 8000, 1)
 	if b > 1.3 {
 		t.Errorf("optimal B = %.2f; the paper finds small bases (~1.1) win", b)
 	}
@@ -156,7 +156,7 @@ func TestBackoffOptimumLocation(t *testing.T) {
 
 func TestPathologicalResolves(t *testing.T) {
 	rng := sim.NewRNG(13)
-	res := PaperBackoff(0).Pathological(rng, 64, 2, 100, 1<<17)
+	res := PaperBackoff(0).Pathological(rng, 64, 2, 100, 1<<17, 1)
 	if !res.Resolved {
 		t.Fatal("exponential backoff should resolve the 64-node burst")
 	}
@@ -169,8 +169,8 @@ func TestPathologicalFixedWindowStruggles(t *testing.T) {
 	rng := sim.NewRNG(17)
 	fixed := BackoffModel{W: 3, B: 1, G: 0, SlotCycles: 2, DetectSlot: 0}
 	exp := BackoffModel{W: 3, B: 2, G: 0, SlotCycles: 2, DetectSlot: 0}
-	rf := fixed.Pathological(rng.NewStream("f"), 64, 2, 30, 1<<14)
-	re := exp.Pathological(rng.NewStream("e"), 64, 2, 30, 1<<14)
+	rf := fixed.Pathological(rng.NewStream("f"), 64, 2, 30, 1<<14, 1)
+	re := exp.Pathological(rng.NewStream("e"), 64, 2, 30, 1<<14, 1)
 	if !re.Resolved {
 		t.Fatal("B=2 should resolve quickly")
 	}
@@ -191,11 +191,52 @@ func TestTwoReceiverRetransmitApproximation(t *testing.T) {
 	}
 }
 
+// TestMonteCarloWorkerCountInvariance is the sharding contract: every
+// estimator must produce bit-identical float results at any worker
+// count, because trials are dealt across fixed named sub-streams and
+// reduced in shard order regardless of how many goroutines run them.
+func TestMonteCarloWorkerCountInvariance(t *testing.T) {
+	c := CollisionParams{N: 16, R: 2, P: 0.2}
+	p1, n1 := MonteCarloCollision(c, sim.NewRNG(23), 10000, 1)
+	for _, w := range []int{2, 4, 8} {
+		pw, nw := MonteCarloCollision(c, sim.NewRNG(23), 10000, w)
+		if pw != p1 || nw != n1 {
+			t.Fatalf("workers=%d: (%v,%v) != workers=1 (%v,%v)", w, pw, nw, p1, n1)
+		}
+	}
+
+	m := PaperBackoff(0.01)
+	d1 := m.MeanResolutionDelay(sim.NewRNG(29), 10000, 1)
+	for _, w := range []int{2, 8} {
+		if dw := m.MeanResolutionDelay(sim.NewRNG(29), 10000, w); dw != d1 {
+			t.Fatalf("MeanResolutionDelay workers=%d: %v != %v", w, dw, d1)
+		}
+	}
+
+	r1 := PaperBackoff(0).Pathological(sim.NewRNG(31), 64, 2, 40, 1<<14, 1)
+	r8 := PaperBackoff(0).Pathological(sim.NewRNG(31), 64, 2, 40, 1<<14, 8)
+	if r1 != r8 {
+		t.Fatalf("Pathological diverges across workers: %+v vs %+v", r1, r8)
+	}
+
+	ws := []float64{2, 2.7}
+	bs := []float64{1.1, 1.6}
+	s1 := ResolutionDelaySurface(ws, bs, 0.01, sim.NewRNG(37), 2000, 1)
+	s8 := ResolutionDelaySurface(ws, bs, 0.01, sim.NewRNG(37), 2000, 8)
+	for i := range s1 {
+		for j := range s1[i] {
+			if s1[i][j] != s8[i][j] {
+				t.Fatalf("surface[%d][%d] diverges across workers: %v vs %v", i, j, s1[i][j], s8[i][j])
+			}
+		}
+	}
+}
+
 func TestResolutionDelaySurfaceShape(t *testing.T) {
 	rng := sim.NewRNG(19)
 	ws := []float64{2, 3}
 	bs := []float64{1.1, 2}
-	s := ResolutionDelaySurface(ws, bs, 0.01, rng, 4000)
+	s := ResolutionDelaySurface(ws, bs, 0.01, rng, 4000, 1)
 	if len(s) != 2 || len(s[0]) != 2 {
 		t.Fatalf("surface shape %dx%d", len(s), len(s[0]))
 	}

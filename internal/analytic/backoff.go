@@ -3,6 +3,7 @@ package analytic
 import (
 	"math"
 
+	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
 )
 
@@ -58,17 +59,33 @@ type contender struct {
 // cycles: the time from the end of the originally collided slot until the
 // end of the slot in which the packet finally goes through. Each episode
 // starts with two packets colliding (the overwhelmingly common case) on
-// one receiver.
-func (m BackoffModel) MeanResolutionDelay(rng *sim.RNG, trials int) float64 {
+// one receiver. Episodes are sharded across fixed named sub-streams of
+// rng and run on up to workers goroutines; partial sums reduce in shard
+// order, so the float result is identical at every worker count.
+func (m BackoffModel) MeanResolutionDelay(rng *sim.RNG, trials, workers int) float64 {
 	if trials <= 0 {
 		panic("analytic: trials must be positive")
 	}
+	type part struct {
+		total    float64
+		resolved int
+	}
+	counts := shardCounts(trials)
+	streams := shardStreams(rng, len(counts))
+	parts := parallel.Map(len(counts), workers, func(i int) part {
+		var p part
+		for t := 0; t < counts[i]; t++ {
+			d, n := m.episode(streams[i], 2, 1<<14)
+			p.total += d
+			p.resolved += n
+		}
+		return p
+	})
 	total := 0.0
 	resolved := 0
-	for t := 0; t < trials; t++ {
-		d, n := m.episode(rng, 2, 1<<14)
-		total += d
-		resolved += n
+	for _, p := range parts { // fixed shard order keeps float addition stable
+		total += p.total
+		resolved += p.resolved
 	}
 	if resolved == 0 {
 		return math.Inf(1)
@@ -132,16 +149,23 @@ func remove(cs []*contender, target *contender) []*contender {
 
 // ResolutionDelaySurface evaluates MeanResolutionDelay over a (W, B) grid,
 // reproducing the Figure 4 surface. The rng is re-derived per grid point
-// so the surface is smooth under a common random-number stream.
-func ResolutionDelaySurface(ws, bs []float64, g float64, rng *sim.RNG, trials int) [][]float64 {
+// — serially, in row-major order, before any point runs — so the surface
+// is smooth under a common random-number stream and independent of how
+// many workers evaluate grid points concurrently. The grid is the
+// parallel axis; each point's estimator runs serially on its own stream.
+func ResolutionDelaySurface(ws, bs []float64, g float64, rng *sim.RNG, trials, workers int) [][]float64 {
+	streams := make([]*sim.RNG, len(ws)*len(bs))
+	for i := range streams {
+		streams[i] = rng.NewStream("surface")
+	}
+	flat := parallel.Map(len(streams), workers, func(idx int) float64 {
+		m := PaperBackoff(g)
+		m.W, m.B = ws[idx/len(bs)], bs[idx%len(bs)]
+		return m.MeanResolutionDelay(streams[idx], trials, 1)
+	})
 	out := make([][]float64, len(ws))
-	for i, w := range ws {
-		out[i] = make([]float64, len(bs))
-		for j, b := range bs {
-			m := PaperBackoff(g)
-			m.W, m.B = w, b
-			out[i][j] = m.MeanResolutionDelay(rng.NewStream("surface"), trials)
-		}
+	for i := range ws {
+		out[i] = flat[i*len(bs) : (i+1)*len(bs)]
 	}
 	return out
 }
@@ -149,8 +173,8 @@ func ResolutionDelaySurface(ws, bs []float64, g float64, rng *sim.RNG, trials in
 // OptimalWB scans a grid and returns the (W, B) with the lowest mean
 // resolution delay; with the paper's parameters the optimum falls near
 // W=2.7, B=1.1.
-func OptimalWB(ws, bs []float64, g float64, rng *sim.RNG, trials int) (bestW, bestB, bestDelay float64) {
-	surface := ResolutionDelaySurface(ws, bs, g, rng, trials)
+func OptimalWB(ws, bs []float64, g float64, rng *sim.RNG, trials, workers int) (bestW, bestB, bestDelay float64) {
+	surface := ResolutionDelaySurface(ws, bs, g, rng, trials, workers)
 	bestDelay = math.Inf(1)
 	for i, w := range ws {
 		for j, b := range bs {
@@ -174,18 +198,30 @@ type PathologicalResult struct {
 // Pathological simulates the all-to-one burst with nodes-1 simultaneous
 // senders split across receivers receivers, and reports how long the first
 // clean delivery takes. A fixed window (B=1) with small W may effectively
-// never resolve; the horizon caps the search.
-func (m BackoffModel) Pathological(rng *sim.RNG, nodes, receivers, trials, horizonSlots int) PathologicalResult {
+// never resolve; the horizon caps the search. Each trial already runs on
+// its own derived stream, so trials parallelize across workers with the
+// reduction in trial order — numerically identical to the serial loop.
+func (m BackoffModel) Pathological(rng *sim.RNG, nodes, receivers, trials, horizonSlots, workers int) PathologicalResult {
 	var sumRetries, sumCycles float64
 	succeeded := 0
 	perReceiver := (nodes - 1 + receivers - 1) / receivers
-	for t := 0; t < trials; t++ {
-		sub := rng.NewStream("patho")
-		slots, retries, ok := m.firstSuccess(sub, perReceiver, horizonSlots)
-		if ok {
+	subs := make([]*sim.RNG, trials)
+	for i := range subs {
+		subs[i] = rng.NewStream("patho")
+	}
+	type outcome struct {
+		slots, retries int
+		ok             bool
+	}
+	outcomes := parallel.Map(trials, workers, func(t int) outcome {
+		slots, retries, ok := m.firstSuccess(subs[t], perReceiver, horizonSlots)
+		return outcome{slots, retries, ok}
+	})
+	for _, o := range outcomes { // trial order keeps float addition stable
+		if o.ok {
 			succeeded++
-			sumRetries += float64(retries)
-			sumCycles += float64(slots * m.SlotCycles)
+			sumRetries += float64(o.retries)
+			sumCycles += float64(o.slots * m.SlotCycles)
 		}
 	}
 	if succeeded == 0 {

@@ -10,10 +10,51 @@
 package analytic
 
 import (
+	"fmt"
 	"math"
 
+	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
 )
+
+// mcShards is the fixed shard count for all Monte Carlo estimators in
+// this package. Trials are dealt across mcShards independent named RNG
+// sub-streams and the partial results reduced in shard order, so an
+// estimate is a pure function of (seed, trials) — the worker count only
+// decides how many shards run concurrently, never what they compute.
+const mcShards = 16
+
+// shardCounts deals trials across the fixed shard count, earlier shards
+// absorbing the remainder. Fewer trials than shards degenerate to one
+// trial per shard.
+func shardCounts(trials int) []int {
+	n := mcShards
+	if n > trials {
+		n = trials
+	}
+	if n < 1 {
+		n = 1
+	}
+	counts := make([]int, n)
+	base, rem := trials/n, trials%n
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// shardStreams derives one named sub-stream per shard, serially and in
+// shard order, so the stream genealogy is independent of worker count.
+func shardStreams(rng *sim.RNG, n int) []*sim.RNG {
+	streams := make([]*sim.RNG, n)
+	for i := range streams {
+		streams[i] = rng.NewStream(fmt.Sprintf("shard/%d", i))
+	}
+	return streams
+}
 
 // CollisionParams describes the simplified transmission model of §4.3.2:
 // every one of N nodes transmits with probability p per slot to a uniform
@@ -81,14 +122,44 @@ func TwoReceiverRetransmitCollision(n int, pt float64) float64 {
 	return 1 - math.Pow(1-pt/float64(n-1), float64(n-2)/2)
 }
 
+// collisionTally holds one shard's raw counts.
+type collisionTally struct {
+	sent, collided, nodeSlots, nodeCollisions int
+}
+
 // MonteCarloCollision estimates the same two quantities by direct
 // simulation of the slotted model: trials slots, each node transmitting
 // independently. It returns the per-packet and per-node collision
-// probabilities, validating the closed forms.
-func MonteCarloCollision(c CollisionParams, rng *sim.RNG, trials int) (perPacket, perNode float64) {
+// probabilities, validating the closed forms. Trials are sharded across
+// fixed named sub-streams of rng and run on up to workers goroutines;
+// the estimate is identical at every worker count.
+func MonteCarloCollision(c CollisionParams, rng *sim.RNG, trials, workers int) (perPacket, perNode float64) {
 	if c.N < 2 || c.R < 1 {
 		panic("analytic: need N >= 2 and R >= 1")
 	}
+	counts := shardCounts(trials)
+	streams := shardStreams(rng, len(counts))
+	shards := parallel.Map(len(counts), workers, func(i int) collisionTally {
+		return collisionShard(c, streams[i], counts[i])
+	})
+	var total collisionTally
+	for _, sh := range shards { // reduce in shard order
+		total.sent += sh.sent
+		total.collided += sh.collided
+		total.nodeSlots += sh.nodeSlots
+		total.nodeCollisions += sh.nodeCollisions
+	}
+	if total.sent > 0 {
+		perPacket = float64(total.collided) / float64(total.sent)
+	}
+	// perNode is the probability that a given node experiences >=1
+	// receiver collision in a slot, averaged over nodes and slots.
+	perNode = float64(total.nodeCollisions) / float64(total.nodeSlots)
+	return perPacket, perNode
+}
+
+// collisionShard runs one shard's slots on its own stream.
+func collisionShard(c CollisionParams, rng *sim.RNG, trials int) collisionTally {
 	var sent, collided, nodeSlots, nodeCollisions int
 	// receiverOf maps a sender to the receiver index it uses at any
 	// destination: senders are statically divided among receivers.
@@ -127,11 +198,5 @@ func MonteCarloCollision(c CollisionParams, rng *sim.RNG, trials int) (perPacket
 			}
 		}
 	}
-	if sent > 0 {
-		perPacket = float64(collided) / float64(sent)
-	}
-	// perNode is the probability that a given node experiences >=1
-	// receiver collision in a slot, averaged over nodes and slots.
-	perNode = float64(nodeCollisions) / float64(nodeSlots)
-	return perPacket, perNode
+	return collisionTally{sent, collided, nodeSlots, nodeCollisions}
 }

@@ -13,6 +13,7 @@ import (
 	"fsoi/internal/analytic"
 	"fsoi/internal/core"
 	"fsoi/internal/optics"
+	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
 	"fsoi/internal/stats"
 	"fsoi/internal/system"
@@ -29,6 +30,12 @@ type Options struct {
 	Seed uint64
 	// Trials sizes Monte Carlo estimates.
 	Trials int
+	// Workers bounds how many independent simulations run concurrently;
+	// values <= 1 run everything serially on the calling goroutine.
+	// Results are byte-identical at every worker count: each grid builds
+	// its job list in a fixed order, every job owns its own engine and
+	// RNG tree, and results merge by job index, never completion order.
+	Workers int
 }
 
 // DefaultOptions returns full-size settings.
@@ -142,7 +149,7 @@ func Fig3(o Options) Result {
 			row = append(row, fmt.Sprintf("%.4f", v))
 			vals[fmt.Sprintf("p%.2f_r%d", p, r)] = v
 		}
-		mc, _ := analytic.MonteCarloCollision(analytic.CollisionParams{N: 16, R: 2, P: p}, rng, o.Trials)
+		mc, _ := analytic.MonteCarloCollision(analytic.CollisionParams{N: 16, R: 2, P: p}, rng, o.Trials, o.Workers)
 		row = append(row, fmt.Sprintf("%.4f", mc))
 		t.AddRow(row...)
 	}
@@ -165,7 +172,7 @@ func Fig4(o Options) Result {
 	for _, g := range []float64{0.01, 0.10} {
 		fmt.Fprintf(&b, "G = %.0f%% (mean collision resolution delay, cycles)\n", g*100)
 		t := stats.NewTable(append([]string{"W \\ B"}, fmtFloats(bs)...)...)
-		surface := analytic.ResolutionDelaySurface(ws, bs, g, rng.NewStream(fmt.Sprint(g)), o.Trials)
+		surface := analytic.ResolutionDelaySurface(ws, bs, g, rng.NewStream(fmt.Sprint(g)), o.Trials, o.Workers)
 		for i, w := range ws {
 			row := []string{fmt.Sprintf("%.1f", w)}
 			for j := range bs {
@@ -175,16 +182,16 @@ func Fig4(o Options) Result {
 		}
 		b.WriteString(t.String())
 		b.WriteString("\n")
-		wOpt, bOpt, dOpt := analytic.OptimalWB(ws, bs, g, rng.NewStream("opt"+fmt.Sprint(g)), o.Trials)
+		wOpt, bOpt, dOpt := analytic.OptimalWB(ws, bs, g, rng.NewStream("opt"+fmt.Sprint(g)), o.Trials, o.Workers)
 		fmt.Fprintf(&b, "optimum: W=%.1f B=%.2f delay=%.2f cycles (paper: W=2.7 B=1.1, 7.26 cycles)\n\n", wOpt, bOpt, dOpt)
 		vals[fmt.Sprintf("opt_w_g%.0f", g*100)] = wOpt
 		vals[fmt.Sprintf("opt_b_g%.0f", g*100)] = bOpt
 		vals[fmt.Sprintf("opt_delay_g%.0f", g*100)] = dOpt
 	}
 	// Pathological case (§4.3.2): 64-node all-to-one burst.
-	patho := analytic.PaperBackoff(0).Pathological(rng.NewStream("patho"), 64, 2, o.Trials/100+10, 1<<17)
+	patho := analytic.PaperBackoff(0).Pathological(rng.NewStream("patho"), 64, 2, o.Trials/100+10, 1<<17, o.Workers)
 	classic := analytic.BackoffModel{W: 2.7, B: 2, SlotCycles: 2}
-	pClassic := classic.Pathological(rng.NewStream("classic"), 64, 2, o.Trials/100+10, 1<<17)
+	pClassic := classic.Pathological(rng.NewStream("classic"), 64, 2, o.Trials/100+10, 1<<17, o.Workers)
 	fmt.Fprintf(&b, "pathological 64->1 burst: B=1.1 first success after %.0f retries (%.0f cycles); B=2 after %.0f retries (%.0f cycles)\n",
 		patho.MeanRetriesFirst, patho.MeanCyclesFirst, pClassic.MeanRetriesFirst, pClassic.MeanCyclesFirst)
 	vals["patho_retries_b11"] = patho.MeanRetriesFirst
@@ -210,12 +217,35 @@ func runOne(o Options, app workload.App, kind system.NetworkKind, nodes int, mut
 	return system.New(cfg).Run(app)
 }
 
+// simJob names one independent simulation inside an experiment grid.
+type simJob struct {
+	app    workload.App
+	kind   system.NetworkKind
+	nodes  int
+	mutate func(*system.Config)
+}
+
+// runGrid executes the jobs on up to o.Workers goroutines and returns
+// their metrics in job order. Every runner builds its job list in the
+// same order its formatting loop consumes results, so the rendered
+// tables are byte-for-byte those of the old serial loops.
+func runGrid(o Options, jobs []simJob) []system.Metrics {
+	return parallel.Map(len(jobs), o.Workers, func(i int) system.Metrics {
+		j := jobs[i]
+		return runOne(o, j.app, j.kind, j.nodes, j.mutate)
+	})
+}
+
 // Fig5 regenerates the read-miss reply-latency distribution on the
 // 16-node FSOI system.
 func Fig5(o Options) Result {
 	hist := stats.NewHistogram(5, 60)
-	for _, app := range o.suite() {
-		m := runOne(o, app, system.NetFSOI, 16, nil)
+	apps := o.suite()
+	jobs := make([]simJob, len(apps))
+	for i, app := range apps {
+		jobs[i] = simJob{app: app, kind: system.NetFSOI, nodes: 16}
+	}
+	for _, m := range runGrid(o, jobs) {
 		for i := 0; i < hist.NumBuckets(); i++ {
 			hist.AddN(int64(i)*5, m.ReplyHist.Bucket(i))
 		}
@@ -251,11 +281,18 @@ func speedupStudy(o Options, nodes int) (Result, map[string][]float64) {
 	t := stats.NewTable("app", "mesh lat", "fsoi lat", "queue", "sched", "net", "resolve", "fsoi", "L0", "Lr1", "Lr2")
 	speed := map[string][]float64{}
 	vals := map[string]float64{}
+	var jobs []simJob
 	for _, app := range apps {
+		for _, kind := range kinds {
+			jobs = append(jobs, simJob{app: app, kind: kind, nodes: nodes})
+		}
+	}
+	ms := runGrid(o, jobs)
+	for ai, app := range apps {
 		var base system.Metrics
 		row := map[system.NetworkKind]system.Metrics{}
-		for _, kind := range kinds {
-			m := runOne(o, app, kind, nodes, nil)
+		for ki, kind := range kinds {
+			m := ms[ai*len(kinds)+ki]
 			row[kind] = m
 			if kind == system.NetMesh {
 				base = m
@@ -311,6 +348,25 @@ func Fig7(o Options) Result {
 func Table4(o Options) Result {
 	t := stats.NewTable("system", "bandwidth", "FSOI", "L0", "Lr1", "Lr2")
 	vals := map[string]float64{}
+	// The job list mirrors the consumption loops below exactly, so the
+	// replay (including the carried-over mesh baseline) reproduces the
+	// serial table byte for byte.
+	var jobs []simJob
+	for _, nodes := range []int{16, 64} {
+		if nodes == 64 && o.Scale < 0.2 {
+			continue
+		}
+		for _, bw := range []float64{8.8, 52.8} {
+			for _, kind := range []system.NetworkKind{system.NetMesh, system.NetFSOI, system.NetL0, system.NetLr1, system.NetLr2} {
+				for _, app := range o.suite() {
+					jobs = append(jobs, simJob{app: app, kind: kind, nodes: nodes,
+						mutate: func(c *system.Config) { c.Memory.TotalGBps = bw }})
+				}
+			}
+		}
+	}
+	ms := runGrid(o, jobs)
+	idx := 0
 	for _, nodes := range []int{16, 64} {
 		if nodes == 64 && o.Scale < 0.2 {
 			// Benches skip the 64-node half for time.
@@ -321,8 +377,9 @@ func Table4(o Options) Result {
 			var base system.Metrics
 			for _, kind := range []system.NetworkKind{system.NetMesh, system.NetFSOI, system.NetL0, system.NetLr1, system.NetLr2} {
 				var sum []float64
-				for _, app := range o.suite() {
-					m := runOne(o, app, kind, nodes, func(c *system.Config) { c.Memory.TotalGBps = bw })
+				for range o.suite() {
+					m := ms[idx]
+					idx++
 					if kind == system.NetMesh {
 						base = m
 					}
@@ -345,9 +402,16 @@ func Fig8(o Options) Result {
 	var relSum, netRatioSum float64
 	var count int
 	vals := map[string]float64{}
-	for _, app := range o.suite() {
-		mMesh := runOne(o, app, system.NetMesh, 16, nil)
-		mFsoi := runOne(o, app, system.NetFSOI, 16, nil)
+	apps := o.suite()
+	var jobs []simJob
+	for _, app := range apps {
+		jobs = append(jobs,
+			simJob{app: app, kind: system.NetMesh, nodes: 16},
+			simJob{app: app, kind: system.NetFSOI, nodes: 16})
+	}
+	ms := runGrid(o, jobs)
+	for ai, app := range apps {
+		mMesh, mFsoi := ms[2*ai], ms[2*ai+1]
 		baseTotal := mMesh.Energy.Total()
 		rel := mFsoi.Energy.Total() / baseTotal
 		t.AddRow(app.Name,
@@ -379,11 +443,17 @@ func Fig8(o Options) Result {
 func Fig9(o Options) Result {
 	t := stats.NewTable("app", "p base", "coll base", "p opt", "coll opt", "theory(p base)")
 	var collBase, collOpt, metaBase, metaOpt float64
-	for _, app := range o.suite() {
-		off := runOne(o, app, system.NetFSOI, 16, func(c *system.Config) {
-			c.FSOI.Opt.AckElision = false
-		})
-		on := runOne(o, app, system.NetFSOI, 16, nil)
+	apps := o.suite()
+	var jobs []simJob
+	for _, app := range apps {
+		jobs = append(jobs,
+			simJob{app: app, kind: system.NetFSOI, nodes: 16,
+				mutate: func(c *system.Config) { c.FSOI.Opt.AckElision = false }},
+			simJob{app: app, kind: system.NetFSOI, nodes: 16})
+	}
+	ms := runGrid(o, jobs)
+	for ai, app := range apps {
+		off, on := ms[2*ai], ms[2*ai+1]
 		pb := off.FSOI.TransmissionProbability(core.LaneMeta)
 		po := on.FSOI.TransmissionProbability(core.LaneMeta)
 		cb := off.FSOI.CollisionRate(core.LaneMeta)
@@ -411,15 +481,26 @@ func Fig9(o Options) Result {
 func Fig10(o Options) Result {
 	t := stats.NewTable("app", "config", "retrans", "writeback", "memory", "reply", "coll rate")
 	var rateOff, rateOn []float64
-	for _, app := range o.suite() {
+	apps := o.suite()
+	var jobs []simJob
+	for _, app := range apps {
 		for _, on := range []bool{false, true} {
-			m := runOne(o, app, system.NetFSOI, 16, func(c *system.Config) {
-				if !on {
-					c.FSOI.Opt.ReceiverScheduling = false
-					c.FSOI.Opt.WritebackSplit = false
-					c.FSOI.Opt.RetransmitHints = false
-				}
-			})
+			jobs = append(jobs, simJob{app: app, kind: system.NetFSOI, nodes: 16,
+				mutate: func(c *system.Config) {
+					if !on {
+						c.FSOI.Opt.ReceiverScheduling = false
+						c.FSOI.Opt.WritebackSplit = false
+						c.FSOI.Opt.RetransmitHints = false
+					}
+				}})
+		}
+	}
+	ms := runGrid(o, jobs)
+	idx := 0
+	for _, app := range apps {
+		for _, on := range []bool{false, true} {
+			m := ms[idx]
+			idx++
 			st := m.FSOI
 			kinds := st.DataByKind[0] + st.DataByKind[1] + st.DataByKind[2] + st.DataByKind[3]
 			if kinds == 0 {
@@ -476,11 +557,28 @@ func Fig11(o Options) Result {
 	}
 	meshFracs := []float64{1.00, 0.89, 0.78, 0.67, 0.56, 0.50}
 	apps := o.suite()
-	runAvg := func(kind system.NetworkKind, mutate func(*system.Config)) float64 {
-		var cycles []float64
+	var jobs []simJob
+	for i := range fsoiPoints {
+		fp := fsoiPoints[i]
+		mf := meshFracs[i]
 		for _, app := range apps {
-			m := runOne(o, app, kind, 16, mutate)
-			cycles = append(cycles, float64(m.Cycles))
+			jobs = append(jobs, simJob{app: app, kind: system.NetFSOI, nodes: 16,
+				mutate: func(c *system.Config) {
+					c.FSOI.MetaVCSELs = fp.meta
+					c.FSOI.DataVCSELs = fp.data
+				}})
+		}
+		for _, app := range apps {
+			jobs = append(jobs, simJob{app: app, kind: system.NetMesh, nodes: 16,
+				mutate: func(c *system.Config) { c.MeshBandwidthFrac = mf }})
+		}
+	}
+	ms := runGrid(o, jobs)
+	// geo reduces one app-block of results to its geomean cycle count.
+	geo := func(start int) float64 {
+		var cycles []float64
+		for k := range apps {
+			cycles = append(cycles, float64(ms[start+k].Cycles))
 		}
 		return stats.GeoMean(cycles)
 	}
@@ -489,14 +587,9 @@ func Fig11(o Options) Result {
 	var fsoiBase, meshBase float64
 	for i := range fsoiPoints {
 		fp := fsoiPoints[i]
-		fc := runAvg(system.NetFSOI, func(c *system.Config) {
-			c.FSOI.MetaVCSELs = fp.meta
-			c.FSOI.DataVCSELs = fp.data
-		})
+		fc := geo(2 * i * len(apps))
 		mf := meshFracs[i]
-		mc := runAvg(system.NetMesh, func(c *system.Config) {
-			c.MeshBandwidthFrac = mf
-		})
+		mc := geo(2*i*len(apps) + len(apps))
 		if i == 0 {
 			fsoiBase, meshBase = fc, mc
 		}
@@ -516,11 +609,17 @@ func Fig11(o Options) Result {
 func Hints(o Options) Result {
 	var correct, issued, wrong int64
 	var resWith, resWithout []float64
-	for _, app := range o.suite() {
-		on := runOne(o, app, system.NetFSOI, 64, nil)
-		off := runOne(o, app, system.NetFSOI, 64, func(c *system.Config) {
-			c.FSOI.Opt.RetransmitHints = false
-		})
+	apps := o.suite()
+	var jobs []simJob
+	for _, app := range apps {
+		jobs = append(jobs,
+			simJob{app: app, kind: system.NetFSOI, nodes: 64},
+			simJob{app: app, kind: system.NetFSOI, nodes: 64,
+				mutate: func(c *system.Config) { c.FSOI.Opt.RetransmitHints = false }})
+	}
+	ms := runGrid(o, jobs)
+	for ai := range apps {
+		on, off := ms[2*ai], ms[2*ai+1]
 		correct += on.FSOI.HintsCorrect
 		issued += on.FSOI.HintsIssued
 		wrong += on.FSOI.HintsWrong
@@ -555,11 +654,17 @@ func LLSC(o Options) Result {
 	t := stats.NewTable("app", "speedup", "meta cut %", "data cut %")
 	// §5.1 quantifies this on the 64-way system, where spin traffic and
 	// invalidation storms are N times heavier.
-	for _, app := range opts.suite() {
-		with := runOne(o, app, system.NetFSOI, 64, nil)
-		without := runOne(o, app, system.NetFSOI, 64, func(c *system.Config) {
-			c.ForceCoherentSync = true
-		})
+	apps := opts.suite()
+	var jobs []simJob
+	for _, app := range apps {
+		jobs = append(jobs,
+			simJob{app: app, kind: system.NetFSOI, nodes: 64},
+			simJob{app: app, kind: system.NetFSOI, nodes: 64,
+				mutate: func(c *system.Config) { c.ForceCoherentSync = true }})
+	}
+	ms := runGrid(o, jobs)
+	for ai, app := range apps {
+		with, without := ms[2*ai], ms[2*ai+1]
 		sp := float64(without.Cycles) / float64(with.Cycles)
 		mc := 1 - float64(with.MetaPackets)/float64(without.MetaPackets)
 		dc := 1 - float64(with.DataPackets)/float64(without.DataPackets)
@@ -600,9 +705,16 @@ func intersect(a, b []string) []string {
 func Corona(o Options) Result {
 	var ratios []float64
 	t := stats.NewTable("app", "fsoi cycles", "corona cycles", "fsoi/corona speedup")
-	for _, app := range o.suite() {
-		f := runOne(o, app, system.NetFSOI, 64, nil)
-		c := runOne(o, app, system.NetCorona, 64, nil)
+	apps := o.suite()
+	var jobs []simJob
+	for _, app := range apps {
+		jobs = append(jobs,
+			simJob{app: app, kind: system.NetFSOI, nodes: 64},
+			simJob{app: app, kind: system.NetCorona, nodes: 64})
+	}
+	ms := runGrid(o, jobs)
+	for ai, app := range apps {
+		f, c := ms[2*ai], ms[2*ai+1]
 		r := float64(c.Cycles) / float64(f.Cycles)
 		ratios = append(ratios, r)
 		t.AddRow(app.Name, fmt.Sprint(f.Cycles), fmt.Sprint(c.Cycles), fmt.Sprintf("%.3f", r))

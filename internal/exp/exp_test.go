@@ -133,3 +133,44 @@ func TestFaultsSweepDegradesMonotonically(t *testing.T) {
 		}
 	}
 }
+
+// TestFig8WorkerEquivalence is the runner-level half of the
+// parallel-vs-serial contract: one full Fig8 (mesh + FSOI energy grid)
+// at Workers=1 and Workers=8 must render byte-identical Result.Text and
+// identical Values, because jobs merge by submission index and the
+// formatting loop replays the serial iteration order.
+func TestFig8WorkerEquivalence(t *testing.T) {
+	run := func(workers int) Result {
+		o := BenchOptions()
+		o.Workers = workers
+		return Fig8(o)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Text != parallel.Text {
+		t.Fatalf("Fig8 text diverges between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.Text, parallel.Text)
+	}
+	if len(serial.Values) != len(parallel.Values) {
+		t.Fatalf("value count diverges: %d vs %d", len(serial.Values), len(parallel.Values))
+	}
+	for k, v := range serial.Values {
+		if pv, ok := parallel.Values[k]; !ok || pv != v {
+			t.Fatalf("value %q diverges: %v vs %v", k, v, parallel.Values[k])
+		}
+	}
+}
+
+// TestFaultSweepWorkerEquivalence covers the sweep grid the faultsweep
+// CLI exposes: the mesh baselines and every (penalty, app) point run
+// through the same pool and must be invisible to the output.
+func TestFaultSweepWorkerEquivalence(t *testing.T) {
+	run := func(workers int) Result {
+		o := tiny()
+		o.Workers = workers
+		return Faults(o)
+	}
+	if a, b := run(1), run(8); a.Text != b.Text {
+		t.Fatalf("faults text diverges between workers=1 and workers=8:\n%s\n---\n%s", a.Text, b.Text)
+	}
+}

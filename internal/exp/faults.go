@@ -40,25 +40,38 @@ func Faults(o Options) Result {
 // wires do not lose link margin.
 func FaultSweep(o Options, penalties []float64, base fault.Config) Result {
 	apps := o.suite()
-	meshCycles := make(map[string]system.Metrics, len(apps))
+	// One grid covers the whole sweep: the per-app mesh baselines first,
+	// then every (penalty, app) FSOI point, all mutually independent.
+	var jobs []simJob
 	for _, app := range apps {
-		meshCycles[app.Name] = runOne(o, app, system.NetMesh, 16, nil)
+		jobs = append(jobs, simJob{app: app, kind: system.NetMesh, nodes: 16})
 	}
+	for _, pen := range penalties {
+		fc := base
+		fc.MarginPenaltyDB = pen
+		for _, app := range apps {
+			jobs = append(jobs, simJob{app: app, kind: system.NetFSOI, nodes: 16,
+				mutate: func(c *system.Config) { c.Fault = fc }})
+		}
+	}
+	ms := runGrid(o, jobs)
+	meshCycles := make(map[string]system.Metrics, len(apps))
+	for i, app := range apps {
+		meshCycles[app.Name] = ms[i]
+	}
+	idx := len(apps)
 	t := stats.NewTable("penalty (dB)", "speedup", "meta coll", "data coll",
 		"retrans/pkt", "bit errs", "timeouts", "finished")
 	vals := map[string]float64{}
 	var b strings.Builder
 	for _, pen := range penalties {
-		fc := base
-		fc.MarginPenaltyDB = pen
 		var speedups []float64
 		var metaColl, dataColl, retrans []float64
 		var bitErrs, timeouts int64
 		finished := true
 		for _, app := range apps {
-			m := runOne(o, app, system.NetFSOI, 16, func(c *system.Config) {
-				c.Fault = fc
-			})
+			m := ms[idx]
+			idx++
 			speedups = append(speedups, m.Speedup(meshCycles[app.Name]))
 			metaColl = append(metaColl, m.FSOI.CollisionRate(core.LaneMeta))
 			dataColl = append(dataColl, m.FSOI.CollisionRate(core.LaneData))

@@ -11,6 +11,14 @@ import (
 // must be a pure function of the configuration and its seed; any of
 // these leaks host state into the run and silently breaks the
 // bit-identical-replay guarantee.
+//
+// It additionally confines host concurrency: every internal package
+// outside concurrencyAllowlist — simulation or not — is barred from
+// goroutines, select, and importing sync or sync/atomic. Experiment
+// fan-out must go through fsoi/internal/parallel, whose index-ordered
+// merge keeps parallel output byte-identical to serial; ad-hoc
+// concurrency anywhere else would reopen the scheduler-ordering hole
+// that package exists to close. cmd/ and examples/ stay exempt.
 type DetSource struct{}
 
 // Name implements Analyzer.
@@ -18,7 +26,7 @@ func (DetSource) Name() string { return "detsource" }
 
 // Doc implements Analyzer.
 func (DetSource) Doc() string {
-	return "forbids wall-clock time, global math/rand, env lookups, goroutines, and select in simulation packages"
+	return "forbids wall-clock time, global math/rand, and env lookups in simulation packages, and goroutines/select/sync in every internal package outside the concurrency allowlist"
 }
 
 // bannedCalls maps package path -> function name -> the remedy text.
@@ -44,20 +52,49 @@ var bannedCalls = map[string]map[string]string{
 
 // Check implements Analyzer.
 func (DetSource) Check(p *Package) []Finding {
-	if !isSimPackage(p.ModuleRel) {
+	sim := isSimPackage(p.ModuleRel)
+	conc := bansConcurrency(p.ModuleRel)
+	if !sim && !conc {
 		return nil
 	}
 	var out []Finding
 	for _, f := range p.Files {
+		if conc {
+			for _, imp := range f.Imports {
+				if path := importPathOf(imp); path == "sync" || path == "sync/atomic" {
+					out = append(out, finding(p, "detsource", imp,
+						"import of %s in %s: host concurrency is confined to fsoi/internal/parallel; fan work out through parallel.Map, which merges by submission index", path, p.ModuleRel))
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				out = append(out, finding(p, "detsource", n,
-					"goroutine launched in simulation package %s: the simulator is single-threaded; host scheduling is nondeterministic", p.ModuleRel))
+				if !conc {
+					return true
+				}
+				if sim {
+					out = append(out, finding(p, "detsource", n,
+						"goroutine launched in simulation package %s: the simulator is single-threaded; host scheduling is nondeterministic", p.ModuleRel))
+				} else {
+					out = append(out, finding(p, "detsource", n,
+						"goroutine launched in %s: host concurrency is confined to fsoi/internal/parallel; fan work out through parallel.Map, which merges by submission index", p.ModuleRel))
+				}
 			case *ast.SelectStmt:
-				out = append(out, finding(p, "detsource", n,
-					"select statement in simulation package %s: channel readiness depends on the host scheduler; drive everything from the event queue", p.ModuleRel))
+				if !conc {
+					return true
+				}
+				if sim {
+					out = append(out, finding(p, "detsource", n,
+						"select statement in simulation package %s: channel readiness depends on the host scheduler; drive everything from the event queue", p.ModuleRel))
+				} else {
+					out = append(out, finding(p, "detsource", n,
+						"select statement in %s: channel readiness depends on the host scheduler; route concurrency through fsoi/internal/parallel", p.ModuleRel))
+				}
 			case *ast.SelectorExpr:
+				if !sim {
+					return true
+				}
 				obj := p.Info.Uses[n.Sel]
 				if obj == nil || obj.Pkg() == nil {
 					return true

@@ -78,6 +78,31 @@ func isSimPackage(rel string) bool {
 	return false
 }
 
+// concurrencyAllowlist names the internal packages that may use
+// goroutines, select, and the sync primitives. Host concurrency is
+// architecturally confined to these audited packages — everything else
+// under internal/ must go through them (fsoi/internal/parallel merges
+// results by submission index, so callers stay byte-identical to
+// serial). cmd/ and examples/ binaries are exempt: wall-clock timing
+// and fan-out there never touch simulated state.
+var concurrencyAllowlist = []string{
+	"internal/parallel",
+}
+
+// bansConcurrency reports whether the module-relative path rel is an
+// internal package outside the concurrency allowlist.
+func bansConcurrency(rel string) bool {
+	if rel != "internal" && !strings.HasPrefix(rel, "internal/") {
+		return false
+	}
+	for _, p := range concurrencyAllowlist {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return false
+		}
+	}
+	return true
+}
+
 // finding builds a Finding for node n in package p.
 func finding(p *Package, analyzer string, n ast.Node, format string, args ...any) Finding {
 	pos := p.Fset.Position(n.Pos())

@@ -17,11 +17,13 @@ import (
 // internal/sim, and the "allowed" fixture proves that cmd/ code (like
 // cmd/experiments' wall-clock timing) is exempt from detsource.
 var fixtureVirtualPaths = map[string]string{
-	"detsource": "fsoi/internal/core",
-	"maporder":  "fsoi/internal/stats",
-	"rngstream": "fsoi/internal/exp",
-	"floateq":   "fsoi/internal/optics",
-	"allowed":   "fsoi/cmd/experiments",
+	"detsource":   "fsoi/internal/core",
+	"maporder":    "fsoi/internal/stats",
+	"rngstream":   "fsoi/internal/exp",
+	"floateq":     "fsoi/internal/optics",
+	"allowed":     "fsoi/cmd/experiments",
+	"parallelpkg": "fsoi/internal/parallel",
+	"syncban":     "fsoi/internal/analytic",
 }
 
 // want is one expectation parsed from a fixture comment.

@@ -1,0 +1,36 @@
+// Package parallelpkg mirrors internal/parallel, the one audited home
+// for host concurrency. Linted under the virtual import path
+// fsoi/internal/parallel, which sits on the detsource concurrency
+// allowlist; the harness asserts zero findings even though the package
+// leans on goroutines, select, and sync.
+package parallelpkg
+
+import "sync"
+
+func fanOut(jobs int, fn func(int)) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := 0
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			i := next
+			next++
+			mu.Unlock()
+			if i >= jobs {
+				return
+			}
+			fn(i)
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}

@@ -1,0 +1,35 @@
+// Package syncban seeds concurrency violations in a non-simulation
+// internal package. Linted under the virtual import path
+// fsoi/internal/analytic: outside the allowlist, internal code may not
+// spin up its own goroutines or pull in the sync primitives — fan-out
+// belongs to fsoi/internal/parallel, whose index-ordered merge keeps
+// results byte-identical to serial.
+package syncban
+
+import (
+	"sync" // want "detsource: import of sync in internal/analytic"
+	"time" // fine here: the wall-clock ban is scoped to simulation packages
+)
+
+func fanOut(work []func()) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "detsource: goroutine launched in internal/analytic"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func race(a, b <-chan int) int {
+	select { // want "detsource: select statement in internal/analytic"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

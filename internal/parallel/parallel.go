@@ -1,0 +1,134 @@
+// Package parallel is the repository's only sanctioned host
+// concurrency: a bounded worker pool that fans independent jobs out to
+// goroutines and merges their results **by submission index, never by
+// completion order**, so any output assembled from the results is
+// byte-identical to a serial run at every worker count.
+//
+// The contract callers must uphold is share-nothing: each job owns its
+// own sim.Engine, its own sim.NewRNG seed tree, and writes only to its
+// own result slot. The pool adds no synchronization around job state —
+// it cannot make dependent jobs safe, only independent jobs fast.
+//
+// Every other internal package is forbidden (and lint-enforced:
+// fsoilint's detsource analyzer) from using goroutines, select, or the
+// sync primitives; concurrency is architecturally confined to this one
+// audited package.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean "one per
+// available CPU" (GOMAXPROCS), anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError carries a worker panic back to the caller. When several
+// jobs panic in one Do call, the one with the lowest job index wins, so
+// the propagated failure is deterministic at any worker count.
+type PanicError struct {
+	Job   int // submission index of the panicking job
+	Value any // the value passed to panic
+}
+
+// Error renders the panic for logs and test output.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v", e.Job, e.Value)
+}
+
+// Do runs fn(0), fn(1), ..., fn(jobs-1) on at most workers goroutines
+// and returns when every job has finished. With workers <= 1 (or fewer
+// than two jobs) it degenerates to a plain serial loop on the calling
+// goroutine — no goroutines are launched, so -j 1 is not merely
+// equivalent to serial execution, it IS serial execution.
+//
+// Jobs are handed out in submission order. If any job panics, Do
+// panics with a *PanicError for the lowest panicking job index after
+// all workers have drained; serial mode propagates the original panic
+// value unwrapped at the point it occurs, like the loop it replaces.
+func Do(jobs, workers int, fn func(job int)) {
+	if jobs <= 0 {
+		return
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		failure *PanicError
+	)
+	// take hands out the next job index, or -1 when none remain. After
+	// a panic has been recorded the remaining jobs are abandoned: the
+	// caller is about to unwind, and running more work behind a doomed
+	// merge would only waste cycles.
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failure != nil || next >= jobs {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	record := func(job int, v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failure == nil || job < failure.Job {
+			failure = &PanicError{Job: job, Value: v}
+		}
+	}
+	runOne := func(job int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(job, v)
+			}
+		}()
+		fn(job)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				job := take()
+				if job < 0 {
+					return
+				}
+				runOne(job)
+			}
+		}()
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// Map runs fn over every job index and returns the results in
+// submission order: out[i] == fn(i) regardless of which worker computed
+// it or when it completed.
+func Map[T any](jobs, workers int, fn func(job int) T) []T {
+	out := make([]T, jobs)
+	Do(jobs, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

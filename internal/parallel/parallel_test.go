@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	called := false
+	Do(0, 4, func(int) { called = true })
+	Do(-2, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with no jobs")
+	}
+}
+
+func TestDoSerialRunsInOrder(t *testing.T) {
+	var order []int
+	Do(6, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("ran %d jobs, want 6", len(order))
+	}
+}
+
+func TestDoWorkersExceedJobs(t *testing.T) {
+	var ran [3]int32
+	Do(3, 64, func(i int) { atomic.AddInt32(&ran[i], 1) })
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		out := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapMergeOrderUnderReverseCompletion forces workers to finish in
+// the exact reverse of submission order — job i blocks until job i+1
+// has completed — and checks the merged results are still in submission
+// order. This is the property the whole design rests on: completion
+// order must be invisible in the output.
+func TestMapMergeOrderUnderReverseCompletion(t *testing.T) {
+	const jobs = 8
+	done := make([]chan struct{}, jobs)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	out := Map(jobs, jobs, func(i int) int {
+		defer close(done[i])
+		if i < jobs-1 {
+			<-done[i+1] // stall until the next-higher job is done
+		}
+		return i * 10
+	})
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d under reverse completion, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestDoPanicLowestJobWins(t *testing.T) {
+	const jobs = 6
+	// Barrier: every job reaches the panic point before any panics, so
+	// both panicking jobs (2 and 5) definitely record, and the pool must
+	// pick the lowest index rather than the first to arrive.
+	var gate sync.WaitGroup
+	gate.Add(jobs)
+	defer func() {
+		v := recover()
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", v, v)
+		}
+		if pe.Job != 2 {
+			t.Fatalf("PanicError.Job = %d, want 2 (lowest panicking index)", pe.Job)
+		}
+		if pe.Value != "boom-2" {
+			t.Fatalf("PanicError.Value = %v, want boom-2", pe.Value)
+		}
+		if pe.Error() == "" {
+			t.Fatal("empty Error() string")
+		}
+	}()
+	Do(jobs, jobs, func(i int) {
+		gate.Done()
+		gate.Wait()
+		if i == 2 {
+			panic("boom-2")
+		}
+		if i == 5 {
+			panic("boom-5")
+		}
+	})
+	t.Fatal("Do returned despite worker panics")
+}
+
+func TestDoSerialPanicUnwrapped(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "raw" {
+			t.Fatalf("serial panic = %v, want the raw value", v)
+		}
+	}()
+	Do(3, 1, func(i int) {
+		if i == 1 {
+			panic("raw")
+		}
+	})
+}
+
+func TestDoAbandonsAfterPanic(t *testing.T) {
+	// With one effective dispenser, a panic in an early job must stop
+	// later jobs from being handed out (they would be wasted work behind
+	// a doomed merge). Run many jobs on 2 workers with job 0 panicking
+	// immediately; the count of executed jobs should stay well short.
+	var ran int32
+	func() {
+		defer func() { recover() }()
+		Do(1000, 2, func(i int) {
+			if i == 0 {
+				panic("early")
+			}
+			atomic.AddInt32(&ran, 1)
+		})
+	}()
+	if n := atomic.LoadInt32(&ran); n >= 999 {
+		t.Fatalf("all %d remaining jobs ran after the panic; dispenser did not abandon", n)
+	}
+}

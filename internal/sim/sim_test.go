@@ -220,6 +220,79 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+// TestEngineSteadyStateZeroAllocs pins the slab design down: once the
+// event queue has grown to its working depth, scheduling and firing
+// events must not allocate at all. (The callback itself is hoisted to a
+// variable so the measurement sees only the queue, not closure capture.)
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	for i := 0; i < 1024; i++ {
+		e.After(Cycle(i%17), fn)
+	}
+	e.Run(32)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.After(Cycle(i%5+1), fn)
+		}
+		e.Run(8)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state event scheduling allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestEngineSlabRetainedAcrossRun guards the capacity-retention fix: a
+// drained queue keeps its backing slab, so a second burst of the same
+// depth reuses it instead of re-growing.
+func TestEngineSlabRetainedAcrossRun(t *testing.T) {
+	e := NewEngine()
+	fn := func(Cycle) {}
+	for i := 0; i < 512; i++ {
+		e.After(Cycle(i%31), fn)
+	}
+	e.Run(64)
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending after drain", e.Pending())
+	}
+	if got := cap(e.events.a); got < 512 {
+		t.Fatalf("slab capacity %d after drain, want >= 512 retained", got)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 512; i++ {
+			e.After(Cycle(i%31+1), fn)
+		}
+		e.Run(64)
+	})
+	if allocs != 0 {
+		t.Fatalf("refilling a drained queue allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestEventQueueOrdersLikeTotalOrder drives the 4-ary heap directly
+// with adversarial (at, seq) patterns and checks pops come out in
+// strict (at, seq) order — the property that keeps replays
+// byte-identical to the old pointer-heap implementation.
+func TestEventQueueOrdersLikeTotalOrder(t *testing.T) {
+	rng := NewRNG(99)
+	var q eventQueue
+	const n = 5000
+	for seq := 0; seq < n; seq++ {
+		q.push(event{at: Cycle(rng.Intn(64)), seq: uint64(seq)})
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if i > 0 && (e.at < prev.at || (e.at == prev.at && e.seq < prev.seq)) {
+			t.Fatalf("pop %d out of order: (%d,%d) after (%d,%d)", i, e.at, e.seq, prev.at, prev.seq)
+		}
+		prev = e
+	}
+	if len(q.a) != 0 {
+		t.Fatalf("%d events left after draining", len(q.a))
+	}
+}
+
 func TestEnginePastEventPanics(t *testing.T) {
 	e := NewEngine()
 	e.Run(5)

@@ -1,0 +1,45 @@
+package system
+
+import (
+	"testing"
+
+	"fsoi/internal/fault"
+	"fsoi/internal/parallel"
+	"fsoi/internal/workload"
+)
+
+// TestParallelFaultRunsByteIdentical extends the cross-run determinism
+// guarantee to the worker pool: a batch of 16-node fault-enabled runs —
+// the heaviest consumer of named RNG streams — fanned out through
+// parallel.Map must merge to exactly the Canonical strings the same
+// batch produces serially, at every worker count. Each job owns its own
+// System (engine, RNG tree, packet free-list); nothing is shared.
+func TestParallelFaultRunsByteIdentical(t *testing.T) {
+	names := []string{"mp3d", "fft", "jacobi", "mp3d", "fft", "jacobi"}
+	apps := make([]workload.App, len(names))
+	for i, name := range names {
+		apps[i] = tinyApp(t, name) // resolved on the test goroutine
+	}
+	batch := func(workers int) []string {
+		return parallel.Map(len(apps), workers, func(i int) string {
+			cfg := Default(16, NetFSOI)
+			cfg.Seed = uint64(i + 1)
+			cfg.Fault = fault.Config{
+				MarginPenaltyDB: 2.5,
+				VCSELFailProb:   0.05,
+				ConfirmDropProb: 0.05,
+			}
+			return New(cfg).Run(apps[i]).Canonical()
+		})
+	}
+	serial := batch(1)
+	for _, w := range []int{2, 8} {
+		got := batch(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: run %d (%s, seed %d) diverges from serial canonical output",
+					w, i, names[i], i+1)
+			}
+		}
+	}
+}

@@ -168,6 +168,14 @@ type System struct {
 	pktID    uint64
 	tracer   *noc.Tracer
 
+	// pktFree recycles retired noc.Packets so the transport's steady
+	// state allocates nothing per message. It is a plain slice,
+	// deliberately NOT a sync.Pool: pool reuse order depends on the Go
+	// scheduler and GC, which would let host-machine timing leak into
+	// pointer identities, while LIFO reuse from a slice is a pure
+	// function of simulated history and keeps runs byte-identical.
+	pktFree []*noc.Packet
+
 	// Point-to-point ordering state (§4.4): one in-flight message per
 	// (src, dst, line); the rest wait here.
 	ordInFlight map[orderKey]bool
@@ -183,15 +191,24 @@ type orderKey struct {
 // transport adapts the system to coherence.Transport.
 type transport struct{ s *System }
 
-// packetFor wraps a protocol message for the wire.
+// packetFor wraps a protocol message for the wire, reusing a retired
+// packet from the free-list when one is available.
 func (t transport) packetFor(m coherence.Msg) *noc.Packet {
-	t.s.pktID++
-	p := &noc.Packet{
-		ID:      t.s.pktID,
-		Src:     m.From,
-		Dst:     m.To,
-		Payload: m,
+	s := t.s
+	s.pktID++
+	var p *noc.Packet
+	if n := len(s.pktFree); n > 0 {
+		p = s.pktFree[n-1]
+		s.pktFree[n-1] = nil
+		s.pktFree = s.pktFree[:n-1]
+		*p = noc.Packet{}
+	} else {
+		p = new(noc.Packet)
 	}
+	p.ID = s.pktID
+	p.Src = m.From
+	p.Dst = m.To
+	p.Payload = m
 	if m.HasData {
 		p.Type = noc.Data
 	}
@@ -223,7 +240,9 @@ func (t transport) Send(m coherence.Msg) bool {
 		s.ordQueue[key] = append(s.ordQueue[key], m)
 		return true
 	}
-	if !s.net.Send(t.packetFor(m)) {
+	p := t.packetFor(m)
+	if !s.net.Send(p) {
+		s.recycle(p)
 		return false
 	}
 	s.ordInFlight[key] = true
@@ -362,10 +381,23 @@ func (s *System) orderedDone(m coherence.Msg) {
 }
 
 func (s *System) launchOrdered(key orderKey, m coherence.Msg) {
-	if s.net.Send((transport{s}).packetFor(m)) {
+	p := (transport{s}).packetFor(m)
+	if s.net.Send(p) {
 		return
 	}
+	s.recycle(p)
 	s.engine.After(1, func(sim.Cycle) { s.launchOrdered(key, m) })
+}
+
+// recycle retires a packet to the free-list. Callers must guarantee the
+// network holds no further reference: a rejected Send, a non-FSOI
+// delivery (the networks' last touch), or an FSOI confirmation (which
+// fires strictly after delivery, exactly once per packet — a duplicate
+// re-delivery only ever re-confirms when the earlier confirmation beam
+// was dropped, and that earlier confirmation never ran this callback).
+func (s *System) recycle(p *noc.Packet) {
+	p.Payload = nil // release the Msg before the packet idles in the list
+	s.pktFree = append(s.pktFree, p)
 }
 
 // deliver routes an arriving packet to its destination controller.
@@ -395,18 +427,22 @@ func (s *System) deliver(p *noc.Packet, now sim.Cycle) {
 	default:
 		s.l1s[m.To].Handle(m, now)
 	}
+	if s.fsoi == nil {
+		// Electrical networks never touch a packet after delivery; FSOI
+		// packets stay live until their confirmation callback.
+		s.recycle(p)
+	}
 }
 
 // onConfirm handles sender-side confirmations (FSOI): an elided-ack Inv's
 // confirmation is the invalidation ack.
 func (s *System) onConfirm(p *noc.Packet, now sim.Cycle) {
-	m, ok := p.Payload.(coherence.Msg)
-	if !ok {
-		return
+	if m, ok := p.Payload.(coherence.Msg); ok {
+		if m.Type == coherence.Inv && m.Value {
+			s.dirs[m.From].OnInvConfirm(m.Addr, now)
+		}
 	}
-	if m.Type == coherence.Inv && m.Value {
-		s.dirs[m.From].OnInvConfirm(m.Addr, now)
-	}
+	s.recycle(p)
 }
 
 // onBit routes confirmation-lane booleans to the sync fabric.
