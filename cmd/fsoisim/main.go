@@ -10,10 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 
 	"fsoi/internal/config"
 	"fsoi/internal/core"
+	"fsoi/internal/obs"
 	"fsoi/internal/system"
 	"fsoi/internal/workload"
 )
@@ -26,7 +29,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	memGBps := flag.Float64("membw", 8.8, "total memory bandwidth, GB/s")
 	noOpt := flag.Bool("no-opt", false, "disable all §5 FSOI optimizations")
-	trace := flag.Int("trace", 0, "dump the last N delivered packets")
+	trace := flag.Int("trace", 0, "dump the last N terminated packets")
+	traceFile := flag.String("tracefile", "", "record packet-lifecycle events and write them as JSON Lines (read with cmd/fsoitrace)")
+	chromeTrace := flag.String("chrometrace", "", "record packet-lifecycle events and write a Chrome trace-event file (chrome://tracing, Perfetto)")
+	profilePath := flag.String("profile", "", "write a host CPU profile (pprof) of the run and print engine counters")
 	configPath := flag.String("config", "", "JSON spec overriding the flags (see internal/config)")
 	listApps := flag.Bool("listapps", false, "list applications and exit")
 	flag.Parse()
@@ -79,7 +85,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *traceFile != "" || *chromeTrace != "" {
+		cfg.Observe = true
+	}
 	s := system.New(cfg)
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsoisim:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fsoisim:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	m := s.Run(app)
 
 	fmt.Printf("app=%s net=%s nodes=%d scale=%.2f\n", app.Name, m.Net, m.Nodes, *scale)
@@ -112,7 +134,47 @@ func main() {
 		fmt.Printf("reply latency       mean %.1f cycles, modal bin %d-%d holds %.0f%%\n",
 			m.ReplyHist.Mean(), bucket*5, bucket*5+4, frac*100)
 	}
+	if m.DroppedPackets > 0 {
+		fmt.Printf("dropped             %d packets abandoned after retry exhaustion\n", m.DroppedPackets)
+	}
 	if *trace > 0 {
 		fmt.Printf("\nlast %d packets:\n%s", *trace, s.Trace().String())
 	}
+	if rec := s.Obs(); rec != nil {
+		fmt.Printf("\nlifecycle events    %d recorded", rec.Len())
+		if rec.Lost() > 0 {
+			fmt.Printf(" (%d lost past the cap)", rec.Lost())
+		}
+		fmt.Println()
+		fmt.Println()
+		fmt.Print(s.ObsRegistry().String())
+		writeTrace(*traceFile, rec, obs.WriteJSONL)
+		writeTrace(*chromeTrace, rec, obs.WriteChromeTrace)
+	}
+	if *profilePath != "" {
+		e := s.Engine()
+		fmt.Printf("\nengine              %d events fired, event-queue high-water mark %d\n",
+			e.EventsFired(), e.MaxQueueDepth())
+		fmt.Printf("cpu profile         written to %s\n", *profilePath)
+	}
+}
+
+// writeTrace exports a recording through the given encoder, or does
+// nothing when no path was requested.
+func writeTrace(path string, rec *obs.Recorder, encode func(w io.Writer, r *obs.Recorder) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = encode(f, rec)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsoisim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace               written to %s\n", path)
 }

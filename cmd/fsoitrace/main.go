@@ -1,0 +1,269 @@
+// Command fsoitrace analyzes packet-lifecycle trace files produced by
+// fsoisim -tracefile or experiments -trace: event counts by kind, a
+// collision heat-map over src->dst pairs, the retry-count CDF of
+// delivered packets, rebuilt latency percentile tables, and drop
+// accounting.
+//
+//	fsoisim -app jacobi -net fsoi -tracefile trace.jsonl
+//	fsoitrace trace.jsonl
+//	experiments -run fig5 -trace all.jsonl && fsoitrace -top 8 all.jsonl
+//
+// Input is JSON Lines: one event object per line, plus the {"run":...}
+// separator lines experiments -trace writes (counted, otherwise
+// ignored) and the {"ev":"truncated"} marker a capped recorder ends
+// with (reported, never silently swallowed).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"fsoi/internal/obs"
+	"fsoi/internal/stats"
+)
+
+// line is the decoded union of every line shape in a trace file.
+type line struct {
+	At      int64   `json:"at"`
+	Ev      string  `json:"ev"`
+	ID      uint64  `json:"id"`
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Class   string  `json:"class"`
+	Lane    string  `json:"lane"`
+	Attempt int     `json:"attempt"`
+	Aux     int64   `json:"aux"`
+	Run     *string `json:"run"`
+}
+
+// pair is one directed src->dst stream in the heat-map.
+type pair struct{ src, dst int }
+
+// analysis accumulates everything one pass over the file produces.
+type analysis struct {
+	runs       int
+	byKind     map[string]int64
+	collisions map[pair]int64
+	retries    map[int]int64 // delivered-packet retry count -> packets
+	reg        *obs.Registry
+	drops      int64
+	truncated  int64
+	maxNode    int
+	lines      int64
+}
+
+func analyze(r io.Reader) (*analysis, error) {
+	a := &analysis{
+		byKind:     make(map[string]int64),
+		collisions: make(map[pair]int64),
+		retries:    make(map[int]int64),
+		reg:        obs.NewRegistry(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		a.lines++
+		var l line
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			return nil, fmt.Errorf("line %d: %v", a.lines, err)
+		}
+		if l.Run != nil {
+			a.runs++
+			continue
+		}
+		if l.Ev == "truncated" {
+			a.truncated += l.Aux
+			continue
+		}
+		a.byKind[l.Ev]++
+		if l.Src > a.maxNode {
+			a.maxNode = l.Src
+		}
+		if l.Dst > a.maxNode {
+			a.maxNode = l.Dst
+		}
+		switch l.Ev {
+		case "collision":
+			a.collisions[pair{l.Src, l.Dst}]++
+		case "deliver":
+			a.retries[l.Attempt]++
+			class := obs.ClassMeta
+			if l.Class == "data" {
+				class = obs.ClassData
+			}
+			a.reg.Observe(class, l.Src, l.Dst, l.Aux)
+		case "drop":
+			a.drops++
+		}
+	}
+	return a, sc.Err()
+}
+
+// kindOrder lists event kinds in lifecycle order for the counts table;
+// unknown kinds (from future trace versions) sort after, alphabetically.
+var kindOrder = []string{"fault", "inject", "tx-start", "retransmit",
+	"collision", "backoff", "confirm-drop", "deliver", "drop"}
+
+func (a *analysis) countsTable() string {
+	known := make(map[string]bool, len(kindOrder))
+	order := append([]string(nil), kindOrder...)
+	for _, k := range kindOrder {
+		known[k] = true
+	}
+	var extra []string
+	for k := range a.byKind {
+		if !known[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	order = append(order, extra...)
+	t := stats.NewTable("event", "count")
+	for _, k := range order {
+		if n := a.byKind[k]; n > 0 {
+			t.AddRowf(k, n)
+		}
+	}
+	return t.String()
+}
+
+// heatMap renders collisions per src->dst pair: a full matrix up to 16
+// nodes, the busiest pairs beyond that.
+func (a *analysis) heatMap(top int) string {
+	if len(a.collisions) == 0 {
+		return "no collisions recorded\n"
+	}
+	pairs := make([]pair, 0, len(a.collisions))
+	for p := range a.collisions {
+		pairs = append(pairs, p)
+	}
+	nodes := a.maxNode + 1
+	if nodes <= 16 {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].src != pairs[j].src {
+				return pairs[i].src < pairs[j].src
+			}
+			return pairs[i].dst < pairs[j].dst
+		})
+		header := []string{"src \\ dst"}
+		for d := 0; d < nodes; d++ {
+			header = append(header, fmt.Sprintf("%d", d))
+		}
+		t := stats.NewTable(header...)
+		for s := 0; s < nodes; s++ {
+			row := []string{fmt.Sprintf("%d", s)}
+			for d := 0; d < nodes; d++ {
+				if n := a.collisions[pair{s, d}]; n > 0 {
+					row = append(row, fmt.Sprintf("%d", n))
+				} else {
+					row = append(row, ".")
+				}
+			}
+			t.AddRow(row...)
+		}
+		return t.String()
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		ci, cj := a.collisions[pairs[i]], a.collisions[pairs[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	truncatedPairs := 0
+	if top > 0 && len(pairs) > top {
+		truncatedPairs = len(pairs) - top
+		pairs = pairs[:top]
+	}
+	t := stats.NewTable("pair", "collisions")
+	for _, p := range pairs {
+		t.AddRowf(fmt.Sprintf("%d->%d", p.src, p.dst), a.collisions[p])
+	}
+	out := t.String()
+	if truncatedPairs > 0 {
+		out += fmt.Sprintf("(%d quieter pairs omitted)\n", truncatedPairs)
+	}
+	return out
+}
+
+// retryCDF renders the cumulative distribution of delivered-packet
+// retry counts.
+func (a *analysis) retryCDF() string {
+	if len(a.retries) == 0 {
+		return "no deliveries recorded\n"
+	}
+	var counts []int
+	var total int64
+	for r := range a.retries {
+		counts = append(counts, r)
+	}
+	sort.Ints(counts)
+	for _, r := range counts {
+		total += a.retries[r]
+	}
+	t := stats.NewTable("retries", "packets", "cumulative %")
+	var seen int64
+	for _, r := range counts {
+		seen += a.retries[r]
+		t.AddRow(fmt.Sprintf("%d", r), fmt.Sprintf("%d", a.retries[r]),
+			fmt.Sprintf("%.2f", float64(seen)/float64(total)*100))
+	}
+	return t.String()
+}
+
+func main() {
+	top := flag.Int("top", 16, "rows in the busiest-links and busiest-pairs tables (<= 0: all)")
+	flag.Parse()
+
+	in := os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsoitrace:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	a, err := analyze(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsoitrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d lines", name, a.lines)
+	if a.runs > 0 {
+		fmt.Printf(", %d runs", a.runs)
+	}
+	fmt.Println()
+	if a.truncated > 0 {
+		fmt.Printf("WARNING: recording truncated, %d events lost past the recorder cap\n", a.truncated)
+	}
+	fmt.Println("\nevent counts")
+	fmt.Print(a.countsTable())
+	fmt.Println("\ncollision heat-map (src -> dst)")
+	fmt.Print(a.heatMap(*top))
+	fmt.Println("\nretry CDF (delivered packets)")
+	fmt.Print(a.retryCDF())
+	fmt.Println("\nlatency percentiles by packet class (cycles)")
+	fmt.Print(a.reg.ClassTable())
+	fmt.Println("\nlatency percentiles by link (cycles)")
+	fmt.Print(a.reg.LinkTable(*top))
+	if a.drops > 0 {
+		fmt.Printf("\n%d packets DROPPED after retry exhaustion\n", a.drops)
+	}
+}

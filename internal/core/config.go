@@ -96,6 +96,14 @@ type Config struct {
 	// recovery path; only exercised when a FaultModel drops
 	// confirmations). Zero means the 4-slot default.
 	ConfirmTimeoutSlots int
+	// MaxRetries, when positive, makes the network give up on a packet
+	// once it has failed that many retransmissions: its backoff window
+	// has long saturated at MaxBackoffSlots, so further attempts only
+	// congest the lane. The packet is dropped with a terminal lifecycle
+	// event and a DropFunc callback instead of retrying forever. Zero
+	// keeps the historical retry-forever behavior, so every existing
+	// configuration is bit-identical.
+	MaxRetries int
 }
 
 // PaperConfig returns the evaluation configuration for the given node
@@ -154,6 +162,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative backoff window cap")
 	case c.ConfirmTimeoutSlots < 0:
 		return fmt.Errorf("core: negative confirmation timeout")
+	case c.MaxRetries < 0:
+		return fmt.Errorf("core: negative retry limit")
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"fsoi/internal/noc"
+	"fsoi/internal/obs"
 	"fsoi/internal/sim"
 )
 
@@ -39,6 +40,11 @@ func (k CollisionKind) String() string {
 // ConfirmFunc is invoked at the sender when the confirmation beam for a
 // cleanly received packet arrives (receipt + ConfirmDelay cycles).
 type ConfirmFunc func(p *noc.Packet, now sim.Cycle)
+
+// DropFunc is invoked when the network permanently gives up on a packet
+// after Config.MaxRetries failed retransmissions. The network holds no
+// further reference to the packet once the callback returns.
+type DropFunc func(p *noc.Packet, now sim.Cycle)
 
 // BitFunc receives a boolean-subscription update carried on a reserved
 // confirmation mini-cycle.
@@ -97,7 +103,8 @@ type Stats struct {
 	ConfirmBits    int64 // boolean-subscription mini-cycle uses
 	ConfirmSignals int64 // packet confirmations sent
 	BitErrors      int64
-	ScheduledHolds int64 // packets delayed by receiver scheduling / wb split
+	Dropped        [numLanes]int64 // packets abandoned after MaxRetries failed attempts
+	ScheduledHolds int64           // packets delayed by receiver scheduling / wb split
 
 	// Fault-injection counters (all zero unless a FaultModel is attached).
 	HeaderCorruptions     int64 // bit errors in the PID/~PID header: misdetected collisions
@@ -144,6 +151,8 @@ type Network struct {
 	deliverFn noc.DeliveryFunc
 	confirmFn ConfirmFunc
 	bitFn     BitFunc
+	dropFn    DropFunc
+	obs       *obs.Recorder // nil unless lifecycle tracing is on
 	lat       noc.LatencyStats
 	stats     Stats
 	nodes     []*nodeState
@@ -205,6 +214,26 @@ func (n *Network) SetConfirmDelivery(fn ConfirmFunc) { n.confirmFn = fn }
 
 // SetBitDelivery installs the boolean-subscription callback.
 func (n *Network) SetBitDelivery(fn BitFunc) { n.bitFn = fn }
+
+// SetDropDelivery installs the terminal-drop callback (see
+// Config.MaxRetries). Without one, dropped packets simply vanish from
+// the network's bookkeeping (the Dropped counters still tally them).
+func (n *Network) SetDropDelivery(fn DropFunc) { n.dropFn = fn }
+
+// SetObserver attaches a lifecycle-event recorder. Passing nil detaches
+// it; with no recorder attached every emission site is a single nil
+// check and the transmit path allocates nothing extra.
+func (n *Network) SetObserver(r *obs.Recorder) { n.obs = r }
+
+// observe builds the common fields of a lifecycle event for one
+// transmission.
+func (n *Network) observe(kind obs.Kind, tx *transmission, l Lane, at sim.Cycle, aux int64) {
+	n.obs.Emit(obs.Event{
+		At: at, Kind: kind, ID: tx.pkt.ID, Aux: aux,
+		Src: int32(tx.src), Dst: int32(tx.pkt.Dst),
+		Attempt: int32(tx.attempt), Class: uint8(tx.pkt.Type), Lane: int8(l),
+	})
+}
 
 // SupportsConfirmation reports that this network confirms clean packet
 // receipt in hardware, enabling ack elision.
@@ -430,6 +459,13 @@ func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot
 	group, existed := n.slots[key]
 	n.slots[key] = append(group, tx)
 	n.stats.Attempts[l]++
+	if n.obs != nil {
+		kind := obs.KindTxStart
+		if tx.attempt > 0 {
+			kind = obs.KindRetransmit
+		}
+		n.observe(kind, tx, l, now, slot)
+	}
 	if !existed {
 		slotEnd := sim.Cycle((slot + 1) * int64(n.cfg.SlotCycles(l)))
 		n.engine.At(slotEnd, func(at sim.Cycle) {
@@ -478,6 +514,9 @@ func (n *Network) resolve(key slotKey, now sim.Cycle) {
 					n.stats.PayloadCRCErrors++
 				}
 			}
+			if n.obs != nil {
+				n.observe(obs.KindCollision, tx, l, now, key.slot)
+			}
 			tx.attempt++
 			tx.pkt.Retries++
 			if tx.firstSlotEnd == 0 {
@@ -501,6 +540,9 @@ func (n *Network) resolve(key slotKey, now sim.Cycle) {
 		winnerPicked = n.issueHint(key.dst, group)
 	}
 	for _, tx := range group {
+		if n.obs != nil {
+			n.observe(obs.KindCollision, tx, l, now, key.slot)
+		}
 		tx.attempt++
 		tx.pkt.Retries++
 		if tx.firstSlotEnd == 0 {
@@ -568,13 +610,24 @@ func (n *Network) issueHint(dst int, group []*transmission) bool {
 // backoff schedules a retransmission. The sender learns of the failure
 // when the confirmation fails to arrive (slot end + ConfirmDelay); a hint
 // winner goes in the very next slot, everyone else draws from the
-// exponential window starting at the slot after next.
+// exponential window starting at the slot after next. A packet that has
+// already burned MaxRetries attempts (its window saturated at
+// MaxBackoffSlots long ago) is dropped instead — unless its payload
+// actually landed and only the confirmation is outstanding, in which
+// case dropping would desynchronize sender and receiver.
 func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner bool) {
 	ns := n.nodes[tx.src]
 	l := laneFor(tx.pkt)
+	if n.cfg.MaxRetries > 0 && tx.attempt > n.cfg.MaxRetries && !tx.delivered {
+		n.drop(tx, l, now)
+		return
+	}
 	if isWinner {
 		tx.retrySlot = slot + 1
 		ns.retries[l] = append(ns.retries[l], tx)
+		if n.obs != nil {
+			n.observe(obs.KindBackoff, tx, l, now, tx.retrySlot)
+		}
 		return
 	}
 	tx.winner = false
@@ -600,6 +653,22 @@ func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner 
 	}
 	tx.retrySlot = base + d - 1
 	ns.retries[l] = append(ns.retries[l], tx)
+	if n.obs != nil {
+		n.observe(obs.KindBackoff, tx, l, now, tx.retrySlot)
+	}
+}
+
+// drop abandons a transmission after retry exhaustion: the terminal
+// lifecycle event fires, the lane's drop counter advances, and the
+// DropFunc (if any) takes ownership of the packet.
+func (n *Network) drop(tx *transmission, l Lane, now sim.Cycle) {
+	n.stats.Dropped[l]++
+	if n.obs != nil {
+		n.observe(obs.KindDrop, tx, l, now, int64(tx.pkt.Retries))
+	}
+	if n.dropFn != nil {
+		n.dropFn(tx.pkt, now)
+	}
 }
 
 // deliverClean completes a successful transmission: payload delivery at
@@ -641,6 +710,9 @@ func (n *Network) deliverClean(tx *transmission, l Lane, slot int64, now sim.Cyc
 		tx.winner = false
 		tx.retrySlot = slot + n.confirmTimeoutSlots()
 		n.nodes[tx.src].retries[l] = append(n.nodes[tx.src].retries[l], tx)
+		if n.obs != nil {
+			n.observe(obs.KindConfirmDrop, tx, l, now, tx.retrySlot)
+		}
 		return
 	}
 	n.stats.ConfirmSignals++

@@ -12,6 +12,7 @@ import (
 
 	"fsoi/internal/analytic"
 	"fsoi/internal/core"
+	"fsoi/internal/obs"
 	"fsoi/internal/optics"
 	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
@@ -36,6 +37,20 @@ type Options struct {
 	// its job list in a fixed order, every job owns its own engine and
 	// RNG tree, and results merge by job index, never completion order.
 	Workers int
+	// Trace, when non-nil, turns on the packet-lifecycle observability
+	// layer for every simulated run and streams each run's recording to
+	// the sink. Sinks are fed strictly in job order after a grid
+	// finishes, never from worker goroutines, so the emitted bytes are
+	// identical at every Workers value.
+	Trace TraceSink
+}
+
+// TraceSink receives one lifecycle recording per simulated run.
+type TraceSink interface {
+	// WriteRun consumes one run's recorder (never nil). The label
+	// identifies the run within its experiment: job index, application,
+	// network kind, and node count.
+	WriteRun(label string, rec *obs.Recorder)
 }
 
 // DefaultOptions returns full-size settings.
@@ -214,6 +229,9 @@ func runOne(o Options, app workload.App, kind system.NetworkKind, nodes int, mut
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	if o.Trace != nil {
+		cfg.Observe = true
+	}
 	return system.New(cfg).Run(app)
 }
 
@@ -230,10 +248,20 @@ type simJob struct {
 // same order its formatting loop consumes results, so the rendered
 // tables are byte-for-byte those of the old serial loops.
 func runGrid(o Options, jobs []simJob) []system.Metrics {
-	return parallel.Map(len(jobs), o.Workers, func(i int) system.Metrics {
+	ms := parallel.Map(len(jobs), o.Workers, func(i int) system.Metrics {
 		j := jobs[i]
 		return runOne(o, j.app, j.kind, j.nodes, j.mutate)
 	})
+	if o.Trace != nil {
+		// Drain the per-run recorders by job index after the barrier: the
+		// sink sees the same sequence regardless of how many workers ran
+		// the grid or which finished first.
+		for i, m := range ms {
+			j := jobs[i]
+			o.Trace.WriteRun(fmt.Sprintf("job%03d %s %s n%d", i, j.app.Name, j.kind, j.nodes), m.Obs)
+		}
+	}
+	return ms
 }
 
 // Fig5 regenerates the read-miss reply-latency distribution on the

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"fsoi/internal/core"
+	"fsoi/internal/obs"
 	"fsoi/internal/optics"
 	"fsoi/internal/sim"
 	"fsoi/internal/stats"
@@ -283,6 +284,28 @@ func (inj *Injector) DegradedNodes() int {
 		}
 	}
 	return n
+}
+
+// AnnotateTrace stamps the injector's start-of-life VCSEL-failure census
+// into a lifecycle recorder as KindFault events at cycle 0, one per
+// afflicted (node, lane), so a trace file is self-describing about the
+// physical state the packets flew through. Nodes are walked in index
+// order and lanes meta-then-data, so the annotation order is
+// deterministic. A nil recorder is a no-op.
+func (inj *Injector) AnnotateTrace(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	for node := 0; node < inj.net.Nodes; node++ {
+		for _, l := range [2]core.Lane{core.LaneMeta, core.LaneData} {
+			if n := inj.failed[l][node]; n > 0 {
+				rec.Emit(obs.Event{
+					Kind: obs.KindFault, Src: int32(node), Dst: -1,
+					Lane: int8(l), Class: uint8(l), Aux: int64(n),
+				})
+			}
+		}
+	}
 }
 
 // Counters exports the injector's static fault census as a stats

@@ -65,6 +65,7 @@ var simPackages = []string{
 	"internal/fault",
 	"internal/cpu",
 	"internal/workload",
+	"internal/obs",
 }
 
 // isSimPackage reports whether the module-relative path rel is (or is

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes the recorder's events as JSON Lines, one event per
+// line, sorted by cycle. The encoder is hand-rolled fmt so field order
+// is fixed by construction; two identical runs produce byte-identical
+// files at any worker count. A truncated recording ends with an explicit
+// marker line instead of silently looking complete.
+func WriteJSONL(w io.Writer, r *Recorder) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w,
+			`{"at":%d,"ev":%q,"id":%d,"src":%d,"dst":%d,"class":%q,"lane":%q,"attempt":%d,"aux":%d}`+"\n",
+			int64(e.At), e.Kind.String(), e.ID, e.Src, e.Dst,
+			ClassName(e.Class), LaneName(e.Lane), e.Attempt, e.Aux); err != nil {
+			return err
+		}
+	}
+	if r.Lost() > 0 {
+		if _, err := fmt.Fprintf(w, `{"ev":"truncated","aux":%d}`+"\n", r.Lost()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the events in Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto). Delivered packets become complete ("X")
+// spans from injection to delivery on their source node's track;
+// collisions, backoffs, confirmation drops, and terminal drops become
+// instant ("i") events. Timestamps are simulated cycles, not
+// microseconds: the viewer's time axis reads directly in cycles.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	// injectAt pairs each packet's injection with its terminal event; it
+	// is only ever indexed, never iterated, so map order cannot leak.
+	injectAt := make(map[uint64]int64)
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindInject:
+			injectAt[e.ID] = int64(e.At)
+		case KindDeliver, KindDrop:
+			start, ok := injectAt[e.ID]
+			if !ok {
+				start = int64(e.At)
+			}
+			delete(injectAt, e.ID)
+			status := "delivered"
+			if e.Kind == KindDrop {
+				status = "dropped"
+			}
+			if err := emit(
+				`{"name":"%s %d->%d","cat":"packet","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"id":%d,"status":%q,"retries":%d,"aux":%d}}`,
+				ClassName(e.Class), e.Src, e.Dst, start, int64(e.At)-start,
+				e.Src, e.ID, status, e.Attempt, e.Aux); err != nil {
+				return err
+			}
+		case KindCollision, KindBackoff, KindConfirmDrop, KindFault:
+			if err := emit(
+				`{"name":%q,"cat":"event","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"id":%d,"dst":%d,"lane":%q,"attempt":%d,"aux":%d}}`,
+				e.Kind.String(), int64(e.At), e.Src, e.ID, e.Dst,
+				LaneName(e.Lane), e.Attempt, e.Aux); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderNilIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Len() != 0 || r.Lost() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must report empty")
+	}
+	counts := r.CountByKind()
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("nil recorder must count nothing")
+		}
+	}
+}
+
+func TestRecorderLimitCountsLost(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{At: 1, Kind: KindInject, ID: uint64(i)})
+	}
+	if r.Len() != 2 || r.Lost() != 3 {
+		t.Fatalf("len=%d lost=%d, want 2/3", r.Len(), r.Lost())
+	}
+}
+
+// TestEventsSortedStable: events re-sort by cycle with emission order
+// breaking ties, so out-of-order emission cannot perturb exports.
+func TestEventsSortedStable(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(Event{At: 30, ID: 3})
+	r.Emit(Event{At: 10, ID: 1})
+	r.Emit(Event{At: 10, ID: 2})
+	ev := r.Events()
+	if ev[0].ID != 1 || ev[1].ID != 2 || ev[2].ID != 3 {
+		t.Fatalf("sort order wrong: %d %d %d", ev[0].ID, ev[1].ID, ev[2].ID)
+	}
+}
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder(0)
+	r.Emit(Event{At: 1, Kind: KindInject, ID: 1, Src: 0, Dst: 2, Class: ClassMeta, Lane: LaneNone})
+	r.Emit(Event{At: 2, Kind: KindTxStart, ID: 1, Src: 0, Dst: 2, Class: ClassMeta, Lane: 0})
+	r.Emit(Event{At: 4, Kind: KindCollision, ID: 1, Src: 0, Dst: 2, Class: ClassMeta, Lane: 0, Aux: 1})
+	r.Emit(Event{At: 4, Kind: KindBackoff, ID: 1, Src: 0, Dst: 2, Attempt: 1, Class: ClassMeta, Lane: 0, Aux: 3})
+	r.Emit(Event{At: 8, Kind: KindRetransmit, ID: 1, Src: 0, Dst: 2, Attempt: 1, Class: ClassMeta, Lane: 0})
+	r.Emit(Event{At: 12, Kind: KindDeliver, ID: 1, Src: 0, Dst: 2, Attempt: 1, Class: ClassMeta, Lane: LaneNone, Aux: 11})
+	r.Emit(Event{At: 3, Kind: KindInject, ID: 2, Src: 1, Dst: 3, Class: ClassData, Lane: LaneNone})
+	r.Emit(Event{At: 20, Kind: KindDrop, ID: 2, Src: 1, Dst: 3, Attempt: 4, Class: ClassData, Lane: 1, Aux: 4})
+	return r
+}
+
+// TestWriteJSONLStable: the hand-rolled encoder emits one fixed-order
+// object per line, sorted by cycle, and two identical recordings yield
+// byte-identical files.
+func TestWriteJSONLStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recordings must serialize to identical bytes")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d, want 8", len(lines))
+	}
+	want := `{"at":1,"ev":"inject","id":1,"src":0,"dst":2,"class":"meta","lane":"-","attempt":0,"aux":0}`
+	if lines[0] != want {
+		t.Fatalf("first line:\n got %s\nwant %s", lines[0], want)
+	}
+	if !strings.Contains(a.String(), `"ev":"drop"`) {
+		t.Fatal("drop event missing from JSONL")
+	}
+	for i := 1; i < len(lines); i++ {
+		if strings.Compare(lines[i-1][len(`{"at":`):], "") == 0 {
+			t.Fatal("malformed line")
+		}
+	}
+}
+
+func TestWriteJSONLTruncationMarker(t *testing.T) {
+	r := NewRecorder(1)
+	r.Emit(Event{At: 1, Kind: KindInject, ID: 1})
+	r.Emit(Event{At: 2, Kind: KindDeliver, ID: 1})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `{"ev":"truncated","aux":1}`) {
+		t.Fatalf("truncated recording must end with an explicit marker:\n%s", buf.String())
+	}
+}
+
+// TestWriteChromeTrace pairs injections with terminal events into "X"
+// spans and renders mid-life events as instants.
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `{"traceEvents":[`) || !strings.HasSuffix(out, "]}\n") {
+		t.Fatalf("not a trace-event envelope: %s", out)
+	}
+	if !strings.Contains(out, `"name":"meta 0->2","cat":"packet","ph":"X","ts":1,"dur":11`) {
+		t.Fatalf("delivered span missing or mispaired:\n%s", out)
+	}
+	if !strings.Contains(out, `"status":"dropped"`) {
+		t.Fatalf("dropped packet must produce a span with dropped status:\n%s", out)
+	}
+	if !strings.Contains(out, `"ph":"i"`) {
+		t.Fatal("instant events missing")
+	}
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Fatal("chrome trace must be byte-stable across identical recordings")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	counts := sampleRecorder().CountByKind()
+	if counts[KindInject] != 2 || counts[KindDeliver] != 1 || counts[KindDrop] != 1 {
+		t.Fatalf("counts wrong: %v", counts)
+	}
+}
+
+func TestRegistryPercentiles(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < 99; i++ {
+		g.Observe(ClassMeta, 0, 1, 10)
+	}
+	g.Observe(ClassMeta, 0, 1, 5000) // overflow: beyond the 2000-cycle table
+	g.Observe(ClassData, 2, 3, 42)
+	if g.Links() != 2 {
+		t.Fatalf("links = %d, want 2", g.Links())
+	}
+	table := g.ClassTable()
+	if !strings.Contains(table, "meta") || !strings.Contains(table, "data") {
+		t.Fatalf("class table missing rows:\n%s", table)
+	}
+	// p50 of the meta stream: latency 10 falls in the [10,15) bucket, so
+	// the reported bound is 15.
+	if p, over := g.Class(ClassMeta).PercentileBound(0.5); p != 15 || over {
+		t.Fatalf("meta p50 = (%d, %v), want (15, false)", p, over)
+	}
+	// p999 lands on the overflow observation and must render as ">2000".
+	if !strings.Contains(table, ">2000") {
+		t.Fatalf("overflow percentile must render with a > prefix:\n%s", table)
+	}
+	links := g.LinkTable(0)
+	if !strings.Contains(links, "0->1") || !strings.Contains(links, "2->3") {
+		t.Fatalf("link table missing links:\n%s", links)
+	}
+}
+
+func TestRegistryLinkTableTruncationAnnounced(t *testing.T) {
+	g := NewRegistry()
+	for src := 0; src < 8; src++ {
+		g.Observe(ClassMeta, src, src+1, int64(10*src+5))
+	}
+	out := g.LinkTable(3)
+	if !strings.Contains(out, "(5 quieter links omitted)") {
+		t.Fatalf("truncation must be announced:\n%s", out)
+	}
+}
+
+func TestKindNamesStable(t *testing.T) {
+	want := map[Kind]string{
+		KindInject: "inject", KindTxStart: "tx-start", KindRetransmit: "retransmit",
+		KindCollision: "collision", KindBackoff: "backoff", KindConfirmDrop: "confirm-drop",
+		KindDeliver: "deliver", KindDrop: "drop", KindFault: "fault",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("Kind(%d).String() = %q, want %q (on-wire name is frozen)", k, k.String(), name)
+		}
+	}
+	if ClassName(ClassMeta) != "meta" || ClassName(ClassData) != "data" {
+		t.Fatal("class names are frozen")
+	}
+	if LaneName(LaneNone) != "-" || LaneName(0) != "meta" || LaneName(1) != "data" {
+		t.Fatal("lane names are frozen")
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsoi/internal/stats"
+)
+
+// Link identifies one directed src->dst packet stream.
+type Link struct {
+	Src, Dst int
+}
+
+// registry histogram shape: 5-cycle buckets out to 2000 cycles covers
+// every latency the paper's configurations produce; beyond that the
+// overflow bucket is reported explicitly (">2000"), never folded into
+// the last bound.
+const (
+	registryWidth   = 5
+	registryBuckets = 400
+)
+
+// Registry accumulates delivered-packet latencies into percentile tables
+// per packet class and per src->dst link, extending the Figure 5
+// distribution reporting with the tail statistics (p50/p90/p99/p999)
+// a production observability layer reports.
+type Registry struct {
+	byClass [2]*stats.Histogram
+	byLink  map[Link]*stats.Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byClass: [2]*stats.Histogram{
+			stats.NewHistogram(registryWidth, registryBuckets),
+			stats.NewHistogram(registryWidth, registryBuckets),
+		},
+		byLink: make(map[Link]*stats.Histogram),
+	}
+}
+
+// Observe folds one delivered packet into the tables.
+func (g *Registry) Observe(class uint8, src, dst int, latency int64) {
+	if class > ClassData {
+		class = ClassMeta
+	}
+	g.byClass[class].Add(latency)
+	key := Link{Src: src, Dst: dst}
+	h := g.byLink[key]
+	if h == nil {
+		h = stats.NewHistogram(registryWidth, registryBuckets)
+		g.byLink[key] = h
+	}
+	h.Add(latency)
+}
+
+// quantiles are the reported percentile points.
+var quantiles = []struct {
+	name string
+	frac float64
+}{
+	{"p50", 0.50},
+	{"p90", 0.90},
+	{"p99", 0.99},
+	{"p999", 0.999},
+}
+
+// fmtQuantile renders one percentile bound, prefixing ">" when the mass
+// lands in the overflow bucket so a saturated tail is never mistaken for
+// the last real bound.
+func fmtQuantile(h *stats.Histogram, frac float64) string {
+	bound, over := h.PercentileBound(frac)
+	if over {
+		return fmt.Sprintf(">%d", bound)
+	}
+	return fmt.Sprintf("%d", bound)
+}
+
+// addRow appends one histogram's row to a percentile table.
+func addRow(t *stats.Table, label string, h *stats.Histogram) {
+	cells := []string{label, fmt.Sprintf("%d", h.Total()), fmt.Sprintf("%.1f", h.Mean())}
+	for _, q := range quantiles {
+		cells = append(cells, fmtQuantile(h, q.frac))
+	}
+	t.AddRow(cells...)
+}
+
+// ClassTable renders the per-packet-class percentile table.
+func (g *Registry) ClassTable() string {
+	t := stats.NewTable("class", "n", "mean", "p50", "p90", "p99", "p999")
+	addRow(t, "meta", g.byClass[ClassMeta])
+	addRow(t, "data", g.byClass[ClassData])
+	return t.String()
+}
+
+// links returns the observed links in sorted (src, dst) order, so every
+// rendering is independent of map iteration order.
+func (g *Registry) links() []Link {
+	keys := make([]Link, 0, len(g.byLink))
+	for k := range g.byLink {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
+}
+
+// LinkTable renders the per-link percentile table, busiest links first
+// (ties broken by src, dst), truncated to at most top rows (top <= 0
+// means every link). The truncation is announced, never silent.
+func (g *Registry) LinkTable(top int) string {
+	keys := g.links()
+	sort.SliceStable(keys, func(i, j int) bool {
+		return g.byLink[keys[i]].Total() > g.byLink[keys[j]].Total()
+	})
+	truncated := 0
+	if top > 0 && len(keys) > top {
+		truncated = len(keys) - top
+		keys = keys[:top]
+	}
+	t := stats.NewTable("link", "n", "mean", "p50", "p90", "p99", "p999")
+	for _, k := range keys {
+		addRow(t, fmt.Sprintf("%d->%d", k.Src, k.Dst), g.byLink[k])
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	if truncated > 0 {
+		fmt.Fprintf(&b, "(%d quieter links omitted)\n", truncated)
+	}
+	return b.String()
+}
+
+// String renders both tables.
+func (g *Registry) String() string {
+	var b strings.Builder
+	b.WriteString("latency percentiles by packet class (cycles)\n")
+	b.WriteString(g.ClassTable())
+	b.WriteString("\nlatency percentiles by link (cycles)\n")
+	b.WriteString(g.LinkTable(16))
+	return b.String()
+}
+
+// Links reports how many distinct src->dst links were observed.
+func (g *Registry) Links() int { return len(g.byLink) }
+
+// Class exposes one class histogram (tests, fsoitrace).
+func (g *Registry) Class(c uint8) *stats.Histogram {
+	if c > ClassData {
+		c = ClassMeta
+	}
+	return g.byClass[c]
+}

@@ -95,11 +95,13 @@ func (q *eventQueue) pop() event {
 // once per cycle, and timed events fire at the start of their cycle,
 // before tickers. The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Cycle
-	tickers []Ticker
-	events  eventQueue
-	seq     uint64
-	stopped bool
+	now      Cycle
+	tickers  []Ticker
+	events   eventQueue
+	seq      uint64
+	stopped  bool
+	fired    uint64
+	maxDepth int
 }
 
 // NewEngine returns an engine at cycle 0.
@@ -124,6 +126,9 @@ func (e *Engine) At(at Cycle, fn func(now Cycle)) {
 	}
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	if d := len(e.events.a); d > e.maxDepth {
+		e.maxDepth = d
+	}
 }
 
 // After schedules fn to run delay cycles from now.
@@ -144,6 +149,7 @@ func (e *Engine) Stopped() bool { return e.stopped }
 func (e *Engine) Step() {
 	for len(e.events.a) > 0 && e.events.a[0].at <= e.now {
 		ev := e.events.pop()
+		e.fired++
 		ev.fn(e.now)
 	}
 	for _, t := range e.tickers {
@@ -164,3 +170,12 @@ func (e *Engine) Run(maxCycles Cycle) Cycle {
 
 // Pending reports the number of unfired events; useful in tests.
 func (e *Engine) Pending() int { return len(e.events.a) }
+
+// EventsFired reports how many scheduled events have executed — a cheap
+// built-in profile of how event-heavy a run was (fsoisim -profile
+// prints it next to the host-side pprof data).
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// MaxQueueDepth reports the high-water mark of the event queue, the
+// slab capacity a rerun of the same configuration will converge to.
+func (e *Engine) MaxQueueDepth() int { return e.maxDepth }

@@ -211,6 +211,29 @@ func TestEngineEventFIFOWithinCycle(t *testing.T) {
 	}
 }
 
+// TestEngineCounters: the profiling counters track fired events and the
+// queue's high-water mark without touching the hot path's behavior.
+func TestEngineCounters(t *testing.T) {
+	e := NewEngine()
+	for i := Cycle(1); i <= 5; i++ {
+		e.At(i, func(Cycle) {})
+	}
+	if e.MaxQueueDepth() != 5 {
+		t.Fatalf("max depth = %d, want 5 (all events queued before any fire)", e.MaxQueueDepth())
+	}
+	e.Run(3) // cycles 0..2: the events at cycles 1 and 2 fire
+	if e.EventsFired() != 2 {
+		t.Fatalf("fired = %d, want 2", e.EventsFired())
+	}
+	e.Run(10)
+	if e.EventsFired() != 5 {
+		t.Fatalf("fired = %d, want 5 after draining", e.EventsFired())
+	}
+	if e.MaxQueueDepth() != 5 {
+		t.Fatalf("max depth moved to %d after drain, want to stay 5", e.MaxQueueDepth())
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	e.At(3, func(Cycle) { e.Stop() })

@@ -12,10 +12,18 @@ import (
 
 // Summary accumulates a stream of float64 observations and reports count,
 // mean, min, max, and standard deviation without storing samples.
+//
+// The variance is carried as Welford's running (mean, M2) pair rather
+// than the textbook sum-of-squares: cycle-stamped observations cluster
+// near 1e8 with single-digit spread, and sumSq/n - mean² cancels
+// catastrophically there (the squares agree to ~16 digits, so their
+// difference is pure rounding noise). The plain sum is kept alongside so
+// Sum and Mean stay bit-identical to the historical accumulation order.
 type Summary struct {
-	n          int64
-	sum, sumSq float64
-	min, max   float64
+	n        int64
+	sum      float64
+	mean, m2 float64 // Welford state: running mean and sum of squared deviations
+	min, max float64
 }
 
 // Add records one observation.
@@ -28,7 +36,9 @@ func (s *Summary) Add(x float64) {
 	}
 	s.n++
 	s.sum += x
-	s.sumSq += x * x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
 }
 
 // N reports the number of observations.
@@ -56,15 +66,16 @@ func (s *Summary) StdDev() float64 {
 	if s.n == 0 {
 		return 0
 	}
-	m := s.Mean()
-	v := s.sumSq/float64(s.n) - m*m
+	v := s.m2 / float64(s.n)
 	if v < 0 {
 		v = 0
 	}
 	return math.Sqrt(v)
 }
 
-// Merge folds other into s.
+// Merge folds other into s using the parallel (Chan et al.) form of
+// Welford's update, so sharded accumulation keeps the same numerical
+// robustness as the serial stream.
 func (s *Summary) Merge(other *Summary) {
 	if other.n == 0 {
 		return
@@ -79,9 +90,12 @@ func (s *Summary) Merge(other *Summary) {
 	if other.max > s.max {
 		s.max = other.max
 	}
-	s.n += other.n
+	n := s.n + other.n
+	d := other.mean - s.mean
+	s.m2 += other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	s.mean += d * float64(other.n) / float64(n)
+	s.n = n
 	s.sum += other.sum
-	s.sumSq += other.sumSq
 }
 
 // Histogram counts observations into fixed-width integer buckets
@@ -167,17 +181,36 @@ func (h *Histogram) ModeFraction() (bucket int, frac float64) {
 }
 
 // Percentile reports the smallest bucket upper bound covering at least
-// frac of the mass (overflow reported as the last bound).
+// frac of the mass, or 0 for an empty histogram. When the percentile
+// lands in the overflow bucket the last real bound is returned; use
+// PercentileBound to tell that apart from mass genuinely in the last
+// bucket.
 func (h *Histogram) Percentile(frac float64) int64 {
+	bound, _ := h.PercentileBound(frac)
+	return bound
+}
+
+// PercentileBound reports the smallest bucket upper bound covering at
+// least frac of the mass, plus whether the percentile fell into the
+// overflow bucket — in which case the bound is only a lower limit on the
+// true value, and callers should render it as ">bound" rather than as a
+// measured latency. An empty histogram reports (0, false).
+func (h *Histogram) PercentileBound(frac float64) (bound int64, overflow bool) {
+	if h.total == 0 {
+		return 0, false
+	}
 	want := int64(math.Ceil(frac * float64(h.total)))
+	if want < 1 {
+		want = 1
+	}
 	var seen int64
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= want {
-			return int64(i+1) * h.width
+			return int64(i+1) * h.width, false
 		}
 	}
-	return int64(len(h.buckets)) * h.width
+	return int64(len(h.buckets)) * h.width, true
 }
 
 // CounterSet is a named bag of int64 counters with deterministic listing.

@@ -62,6 +62,64 @@ func TestSummaryMergeMatchesCombined(t *testing.T) {
 	}
 }
 
+// TestSummaryStdDevLargeMean is the catastrophic-cancellation
+// regression test. Cycle-stamped observations cluster near 1e8 with
+// tiny spread; the pre-Welford sumSq/n - mean² formula loses the
+// variance entirely there (the two squares agree to ~16 digits, so
+// their difference is rounding noise — it reports 0, or the square
+// root of a negative). Welford's update keeps the full precision; any
+// return to the naive formula fails the 1e-6 tolerance immediately.
+func TestSummaryStdDevLargeMean(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1000; i++ {
+		s.Add(1e8 + float64(i%2)) // alternating 1e8, 1e8+1: stddev exactly 0.5
+	}
+	if got := s.StdDev(); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("stddev of {1e8, 1e8+1}x500 = %.9g, want 0.5 (catastrophic cancellation)", got)
+	}
+	if got := s.Mean(); math.Abs(got-(1e8+0.5)) > 1e-6 {
+		t.Fatalf("mean = %.12g, want 1e8+0.5", got)
+	}
+}
+
+// TestSummaryMergeStdDevLargeMean checks the parallel (Chan et al.)
+// merge form keeps the same robustness as the serial stream on the
+// large-mean data that breaks the naive formula.
+func TestSummaryMergeStdDevLargeMean(t *testing.T) {
+	var a, b, all Summary
+	for i := 0; i < 500; i++ {
+		a.Add(1e8)
+		b.Add(1e8 + 1)
+		all.Add(1e8)
+		all.Add(1e8 + 1)
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), all.N())
+	}
+	if got, want := a.StdDev(), all.StdDev(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged stddev = %.9g, serial stddev = %.9g", got, want)
+	}
+	if math.Abs(a.StdDev()-0.5) > 1e-6 {
+		t.Fatalf("merged stddev = %.9g, want 0.5", a.StdDev())
+	}
+}
+
+func TestSummaryMergeEmptySides(t *testing.T) {
+	var empty, s Summary
+	s.Add(3)
+	s.Add(5)
+	before := s
+	s.Merge(&empty)
+	if s != before {
+		t.Fatal("merging an empty summary must be a no-op")
+	}
+	empty.Merge(&s)
+	if empty.N() != 2 || empty.Mean() != 4 || empty.Min() != 3 || empty.Max() != 5 {
+		t.Fatalf("merge into empty lost data: n=%d mean=%g", empty.N(), empty.Mean())
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	h := NewHistogram(10, 5)
 	h.Add(0)
@@ -108,6 +166,54 @@ func TestHistogramPercentile(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileEmpty pins the edge-case fix: an empty
+// histogram reports 0, not its bucket width (the old code returned
+// width because the loop never ran and the fallthrough used bucket 1's
+// bound).
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram(10, 5)
+	if p := h.Percentile(0.5); p != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", p)
+	}
+	if bound, over := h.PercentileBound(0.99); bound != 0 || over {
+		t.Fatalf("empty histogram PercentileBound = (%d, %v), want (0, false)", bound, over)
+	}
+}
+
+// TestHistogramPercentileOverflow pins the other edge case: a
+// percentile landing in the overflow bucket must be distinguishable
+// from mass genuinely in the last real bucket — both report the same
+// bound, but only the overflow sets the flag.
+func TestHistogramPercentileOverflow(t *testing.T) {
+	over := NewHistogram(10, 5)
+	over.Add(500) // beyond the last bucket
+	bound, isOver := over.PercentileBound(0.5)
+	if bound != 50 || !isOver {
+		t.Fatalf("overflow-only PercentileBound = (%d, %v), want (50, true)", bound, isOver)
+	}
+
+	last := NewHistogram(10, 5)
+	last.Add(49) // last real bucket
+	bound, isOver = last.PercentileBound(0.5)
+	if bound != 50 || isOver {
+		t.Fatalf("last-bucket PercentileBound = (%d, %v), want (50, false)", bound, isOver)
+	}
+
+	// Mixed mass: p50 in a real bucket, p99 in overflow.
+	mixed := NewHistogram(10, 5)
+	for i := 0; i < 98; i++ {
+		mixed.Add(5)
+	}
+	mixed.Add(1000)
+	mixed.Add(1000)
+	if bound, isOver = mixed.PercentileBound(0.5); bound != 10 || isOver {
+		t.Fatalf("mixed p50 = (%d, %v), want (10, false)", bound, isOver)
+	}
+	if bound, isOver = mixed.PercentileBound(0.999); bound != 50 || !isOver {
+		t.Fatalf("mixed p99.9 = (%d, %v), want (50, true)", bound, isOver)
+	}
+}
+
 func TestHistogramAddN(t *testing.T) {
 	a := NewHistogram(4, 8)
 	b := NewHistogram(4, 8)
@@ -137,6 +243,43 @@ func TestCounterSet(t *testing.T) {
 	c.Merge(d)
 	if c.Get("a") != 11 {
 		t.Fatal("merge failed")
+	}
+}
+
+// TestCounterSetMergeOrderIndependent checks sharded accumulation is
+// deterministic: merging the same shards in any order yields identical
+// names and values, so parallel experiment merges cannot leak
+// completion order into output.
+func TestCounterSetMergeOrderIndependent(t *testing.T) {
+	shard := func(pairs ...any) *CounterSet {
+		c := NewCounterSet()
+		for i := 0; i < len(pairs); i += 2 {
+			c.Inc(pairs[i].(string), int64(pairs[i+1].(int)))
+		}
+		return c
+	}
+	build := func(order []int) *CounterSet {
+		shards := []*CounterSet{
+			shard("collisions", 3, "drops", 1),
+			shard("collisions", 5, "retries", 9),
+			shard("drops", 2, "attempts", 100),
+		}
+		c := NewCounterSet()
+		for _, i := range order {
+			c.Merge(shards[i])
+		}
+		return c
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	na, nb := a.Names(), b.Names()
+	if len(na) != len(nb) || len(na) != 4 {
+		t.Fatalf("name sets differ: %v vs %v", na, nb)
+	}
+	for i, name := range na {
+		if nb[i] != name || a.Get(name) != b.Get(name) {
+			t.Fatalf("merge order leaked: %q %d vs %q %d", name, a.Get(name), nb[i], b.Get(nb[i]))
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"fsoi/internal/coherence"
+	"fsoi/internal/noc"
+	"fsoi/internal/obs"
+)
+
+// TestObserveDoesNotPerturbMetrics: the observability layer must be a
+// pure read — an observed run and an unobserved run of the same
+// configuration produce byte-identical canonical metrics. This is the
+// contract that lets experiments -trace claim its tables match the
+// untraced ones.
+func TestObserveDoesNotPerturbMetrics(t *testing.T) {
+	plain := runTiny(t, "jacobi", NetFSOI, 16, nil)
+	observed := runTiny(t, "jacobi", NetFSOI, 16, func(c *Config) { c.Observe = true })
+	if plain.Canonical() != observed.Canonical() {
+		t.Fatal("Observe changed simulation results; it must be a pure read")
+	}
+	if observed.Obs == nil || observed.ObsRegistry == nil {
+		t.Fatal("observed run did not expose its recorder and registry")
+	}
+	if plain.Obs != nil {
+		t.Fatal("unobserved run must not carry a recorder")
+	}
+}
+
+// TestObserveLifecycleAccounting cross-checks the recorder against the
+// run's own metrics: every packet injects once and delivers once, and
+// the registry saw every delivery.
+func TestObserveLifecycleAccounting(t *testing.T) {
+	m := runTiny(t, "jacobi", NetFSOI, 16, func(c *Config) { c.Observe = true })
+	counts := m.Obs.CountByKind()
+	packets := m.MetaPackets + m.DataPackets
+	if counts[obs.KindInject] != packets {
+		t.Fatalf("inject events = %d, delivered packets = %d; every delivered packet injects exactly once",
+			counts[obs.KindInject], packets)
+	}
+	if counts[obs.KindDeliver] != packets {
+		t.Fatalf("deliver events = %d, want %d", counts[obs.KindDeliver], packets)
+	}
+	if counts[obs.KindDrop] != 0 || m.DroppedPackets != 0 {
+		t.Fatal("a default configuration must not drop packets")
+	}
+	regTotal := m.ObsRegistry.Class(obs.ClassMeta).Total() + m.ObsRegistry.Class(obs.ClassData).Total()
+	if regTotal != packets {
+		t.Fatalf("registry observed %d latencies, want %d", regTotal, packets)
+	}
+	if counts[obs.KindTxStart] == 0 || counts[obs.KindBackoff] != counts[obs.KindCollision] {
+		t.Fatalf("FSOI lifecycle events inconsistent: tx-start=%d collision=%d backoff=%d",
+			counts[obs.KindTxStart], counts[obs.KindCollision], counts[obs.KindBackoff])
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, m.Obs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("JSONL export empty")
+	}
+}
+
+// TestObserveByteIdenticalAcrossRuns: two observed runs of the same
+// seed export byte-identical traces — the whole point of the sorted,
+// hand-rolled encoding.
+func TestObserveByteIdenticalAcrossRuns(t *testing.T) {
+	export := func() ([]byte, []byte) {
+		m := runTiny(t, "mp3d", NetFSOI, 16, func(c *Config) { c.Observe = true })
+		var j, c bytes.Buffer
+		if err := obs.WriteJSONL(&j, m.Obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(&c, m.Obs); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := export()
+	j2, c2 := export()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSONL traces differ across same-seed runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("chrome traces differ across same-seed runs")
+	}
+}
+
+// TestRecycleResetsPacketState pins the free-list audit: a packet
+// retired with retry counts and cycle stamps must come back from the
+// free-list fully scrubbed, not carrying the previous life's state.
+func TestRecycleResetsPacketState(t *testing.T) {
+	s := New(Default(16, NetFSOI))
+	p := &noc.Packet{
+		ID: 99, Src: 1, Dst: 2, Type: noc.Data, Retries: 7,
+		QueuingDelay: 11, SchedulingDelay: 13, NetworkDelay: 17, ResolutionDelay: 19,
+		IsReply: true, IsWriteback: true, IsMemory: true, ExpectsDataReply: true,
+		Payload: "stale",
+	}
+	s.recycle(p)
+	if *p != (noc.Packet{}) {
+		t.Fatalf("recycle left state behind: %+v", *p)
+	}
+	tr := transport{s}
+	reused := tr.packetFor(coherence.Msg{Type: coherence.ReqSh, From: 3, To: 4})
+	if reused != p {
+		t.Fatal("free-list did not hand back the recycled packet (LIFO reuse)")
+	}
+	if reused.Retries != 0 || reused.QueuingDelay != 0 || reused.NetworkDelay != 0 {
+		t.Fatalf("reused packet carries a previous life: %+v", *reused)
+	}
+}
+
+// TestObserveLimitLosesLoudly: a capped recorder reports how much it
+// discarded instead of silently looking complete.
+func TestObserveLimitLosesLoudly(t *testing.T) {
+	m := runTiny(t, "jacobi", NetFSOI, 16, func(c *Config) {
+		c.Observe = true
+		c.ObserveLimit = 10
+	})
+	if m.Obs.Len() != 10 {
+		t.Fatalf("recorder kept %d events, cap was 10", m.Obs.Len())
+	}
+	if m.Obs.Lost() == 0 {
+		t.Fatal("a saturated recorder must count its losses")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, m.Obs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"ev":"truncated"`)) {
+		t.Fatal("truncated export must end with the marker line")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fsoi/internal/memory"
 	"fsoi/internal/mesh"
 	"fsoi/internal/noc"
+	"fsoi/internal/obs"
 	"fsoi/internal/power"
 	"fsoi/internal/sim"
 	"fsoi/internal/stats"
@@ -76,6 +77,17 @@ type Config struct {
 	// TracePackets, when positive, keeps the last N delivered packets in
 	// a ring buffer exposed through Trace().
 	TracePackets int
+	// Observe attaches the packet-lifecycle observability layer
+	// (internal/obs): every packet's inject/deliver events plus, on FSOI,
+	// the per-attempt tx-start/collision/backoff/confirm-drop/drop
+	// lifecycle, exported through Metrics.Obs and Metrics.ObsRegistry.
+	// Off (the default) the recorder stays nil and every emission site is
+	// a single nil check, so metrics are byte-identical either way.
+	Observe bool
+	// ObserveLimit caps the recorded event count when Observe is on;
+	// zero or negative means unbounded. Past the cap, events are counted
+	// as lost, never silently discarded.
+	ObserveLimit int
 	// Fault selects the physical-fault models to inject (FSOI only; the
 	// mesh baselines have no optical layer to degrade). The zero value
 	// attaches nothing and leaves every code path and RNG draw identical
@@ -130,6 +142,14 @@ type Metrics struct {
 	// resilience events it triggered; nil unless fault injection was on.
 	FaultCounters *stats.CounterSet
 
+	// Obs holds the packet-lifecycle event recorder and ObsRegistry the
+	// percentile latency tables; both nil unless Config.Observe was set.
+	Obs         *obs.Recorder
+	ObsRegistry *obs.Registry
+	// DroppedPackets counts packets the network permanently gave up on
+	// (FSOI retry exhaustion under Config.FSOI.MaxRetries).
+	DroppedPackets int64
+
 	// Traffic and protocol counters aggregated over nodes.
 	MetaPackets   int64
 	DataPackets   int64
@@ -167,6 +187,8 @@ type System struct {
 	finished int
 	pktID    uint64
 	tracer   *noc.Tracer
+	obsRec   *obs.Recorder
+	obsReg   *obs.Registry
 
 	// pktFree recycles retired noc.Packets so the transport's steady
 	// state allocates nothing per message. It is a plain slice,
@@ -201,7 +223,6 @@ func (t transport) packetFor(m coherence.Msg) *noc.Packet {
 		p = s.pktFree[n-1]
 		s.pktFree[n-1] = nil
 		s.pktFree = s.pktFree[:n-1]
-		*p = noc.Packet{}
 	} else {
 		p = new(noc.Packet)
 	}
@@ -245,6 +266,7 @@ func (t transport) Send(m coherence.Msg) bool {
 		s.recycle(p)
 		return false
 	}
+	s.observeInject(p)
 	s.ordInFlight[key] = true
 	return true
 }
@@ -341,10 +363,21 @@ func New(cfg Config) *System {
 	if cfg.TracePackets > 0 {
 		s.tracer = noc.NewTracer(cfg.TracePackets)
 	}
+	if cfg.Observe {
+		s.obsRec = obs.NewRecorder(cfg.ObserveLimit)
+		s.obsReg = obs.NewRegistry()
+		if s.fsoi != nil {
+			s.fsoi.SetObserver(s.obsRec)
+		}
+		if s.injector != nil {
+			s.injector.AnnotateTrace(s.obsRec)
+		}
+	}
 	s.net.SetDelivery(s.deliver)
 	if s.fsoi != nil {
 		s.fsoi.SetConfirmDelivery(s.onConfirm)
 		s.fsoi.SetBitDelivery(s.onBit)
+		s.fsoi.SetDropDelivery(s.onDrop)
 	}
 
 	if tr.BooleanSubscription() {
@@ -383,10 +416,25 @@ func (s *System) orderedDone(m coherence.Msg) {
 func (s *System) launchOrdered(key orderKey, m coherence.Msg) {
 	p := (transport{s}).packetFor(m)
 	if s.net.Send(p) {
+		s.observeInject(p)
 		return
 	}
 	s.recycle(p)
 	s.engine.After(1, func(sim.Cycle) { s.launchOrdered(key, m) })
+}
+
+// observeInject records a packet's acceptance by the network. Injection
+// time is the current engine cycle: Send only succeeds synchronously, so
+// no separate timestamp needs to ride on the packet.
+func (s *System) observeInject(p *noc.Packet) {
+	if s.obsRec == nil {
+		return
+	}
+	s.obsRec.Emit(obs.Event{
+		At: s.engine.Now(), Kind: obs.KindInject, ID: p.ID,
+		Src: int32(p.Src), Dst: int32(p.Dst),
+		Class: uint8(p.Type), Lane: obs.LaneNone,
+	})
 }
 
 // recycle retires a packet to the free-list. Callers must guarantee the
@@ -395,8 +443,13 @@ func (s *System) launchOrdered(key orderKey, m coherence.Msg) {
 // fires strictly after delivery, exactly once per packet — a duplicate
 // re-delivery only ever re-confirms when the earlier confirmation beam
 // was dropped, and that earlier confirmation never ran this callback).
+// Packets are scrubbed here, at retirement, not lazily at reuse: the
+// historical code zeroed only in packetFor, which left the Payload Msg
+// pinned for the whole idle period and meant any new reuse path that
+// forgot the reset would hand out a packet still carrying the previous
+// message's retry count and cycle stamps.
 func (s *System) recycle(p *noc.Packet) {
-	p.Payload = nil // release the Msg before the packet idles in the list
+	*p = noc.Packet{}
 	s.pktFree = append(s.pktFree, p)
 }
 
@@ -409,6 +462,15 @@ func (s *System) deliver(p *noc.Packet, now sim.Cycle) {
 	s.orderedDone(m)
 	if s.tracer != nil {
 		s.tracer.Record(p, now)
+	}
+	if s.obsRec != nil {
+		lat := p.TotalLatency()
+		s.obsRec.Emit(obs.Event{
+			At: now, Kind: obs.KindDeliver, ID: p.ID, Aux: lat,
+			Src: int32(p.Src), Dst: int32(p.Dst), Attempt: int32(p.Retries),
+			Class: uint8(p.Type), Lane: obs.LaneNone,
+		})
+		s.obsReg.Observe(uint8(p.Type), p.Src, p.Dst, lat)
 	}
 	switch m.Type {
 	case coherence.ReqMem, coherence.MemWrite:
@@ -441,6 +503,24 @@ func (s *System) onConfirm(p *noc.Packet, now sim.Cycle) {
 		if m.Type == coherence.Inv && m.Value {
 			s.dirs[m.From].OnInvConfirm(m.Addr, now)
 		}
+	}
+	s.recycle(p)
+}
+
+// onDrop handles the FSOI network permanently giving up on a packet
+// (Config.FSOI.MaxRetries). The ordered (src, dst, line) stream is
+// released so later messages do not wedge behind the corpse, the fate
+// lands in the ring buffer with a terminal DROPPED status, and the
+// packet retires to the free-list — a drop is the network's last touch.
+// The coherence message itself is lost by design; a run with drops may
+// legitimately report Finished=false, which is exactly the resilience
+// signal the fault experiments measure.
+func (s *System) onDrop(p *noc.Packet, now sim.Cycle) {
+	if m, ok := p.Payload.(coherence.Msg); ok {
+		s.orderedDone(m)
+	}
+	if s.tracer != nil {
+		s.tracer.RecordStatus(p, now, noc.StatusDropped)
 	}
 	s.recycle(p)
 }
@@ -486,7 +566,10 @@ func (s *System) collect(app string) Metrics {
 	}
 	if s.fsoi != nil {
 		m.FSOI = s.fsoi.Stats()
+		m.DroppedPackets = m.FSOI.Dropped[core.LaneMeta] + m.FSOI.Dropped[core.LaneData]
 	}
+	m.Obs = s.obsRec
+	m.ObsRegistry = s.obsReg
 	if s.injector != nil {
 		m.FaultCounters = s.injector.Counters()
 		st := s.fsoi.Stats()
@@ -593,6 +676,13 @@ func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
 // Trace exposes the delivered-packet ring buffer (nil unless
 // Config.TracePackets was set).
 func (s *System) Trace() *noc.Tracer { return s.tracer }
+
+// Obs exposes the lifecycle-event recorder (nil unless Config.Observe).
+func (s *System) Obs() *obs.Recorder { return s.obsRec }
+
+// ObsRegistry exposes the percentile latency registry (nil unless
+// Config.Observe).
+func (s *System) ObsRegistry() *obs.Registry { return s.obsReg }
 
 // CoreStats exposes a core's counters (tests, diagnostics).
 func (s *System) CoreStats(i int) *cpu.Stats { return s.cores[i].Stats() }
