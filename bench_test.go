@@ -128,6 +128,15 @@ func BenchmarkCorona(b *testing.B) {
 	b.ReportMetric(res.Values["ratio"], "x-vs-corona")
 }
 
+func BenchmarkFrontier(b *testing.B) {
+	o := exp.BenchOptions()
+	o.Apps = []string{"jacobi"}
+	res := runExp(b, "frontier", o)
+	b.ReportMetric(res.Values["fsoi_vs_corona_16"], "x-vs-token-crossbar")
+	b.ReportMetric(res.Values["loss_fsoi_256"], "dB-fsoi-256")
+	b.ReportMetric(res.Values["loss_matrix_256"], "dB-matrix-256")
+}
+
 // ---------------------------------------------------------------------
 // Ablation benchmarks: the §4.3 design choices, each swept around the
 // paper's operating point.

@@ -1,0 +1,92 @@
+// Command frontier renders the optical-topology worst-case-loss and
+// laser-energy frontier from the analytic models alone — no simulation,
+// so it answers "which topology survives at this radix" in milliseconds.
+//
+//	frontier                        # every topology at 16/64/256 nodes
+//	frontier -nodes 64              # one node count
+//	frontier -topos fsoi,corona     # subset of the registry
+//	frontier -detail -nodes 64      # full per-topology loss budgets
+//
+// The simulated half of the frontier (latency and run time on the same
+// topology names) lives in `experiments -run frontier`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fsoi/internal/optnet"
+	"fsoi/internal/stats"
+)
+
+func main() {
+	nodesFlag := flag.String("nodes", "16,64,256", "comma-separated node counts (perfect squares)")
+	toposFlag := flag.String("topos", "", "comma-separated topology subset (default: whole registry)")
+	detail := flag.Bool("detail", false, "print the full loss budget of every (topology, nodes) point")
+	flag.Parse()
+
+	var nodeCounts []int
+	for _, f := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "frontier: bad node count %q\n", f)
+			os.Exit(2)
+		}
+		if _, err := optnet.MeshDim(n); err != nil {
+			fmt.Fprintln(os.Stderr, "frontier:", err)
+			os.Exit(2)
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+
+	names := optnet.Names()
+	if *toposFlag != "" {
+		names = nil
+		for _, t := range strings.Split(*toposFlag, ",") {
+			t = strings.TrimSpace(t)
+			if _, ok := optnet.Get(t); !ok {
+				fmt.Fprintf(os.Stderr, "frontier: unknown topology %q (have %v)\n", t, optnet.Names())
+				os.Exit(2)
+			}
+			names = append(names, t)
+		}
+	}
+
+	table := stats.NewTable("topology", "nodes", "worst loss dB", "launch/λ mW", "channels", "laser W", "energy/bit pJ")
+	for _, name := range names {
+		topo, _ := optnet.Get(name)
+		for _, n := range nodeCounts {
+			r := topo.Loss(n)
+			table.AddRow(name, fmt.Sprint(n),
+				fmt.Sprintf("%.2f", r.WorstCaseDB),
+				fmt.Sprintf("%.3f", r.LaserPowerMW),
+				fmt.Sprint(r.Channels),
+				fmt.Sprintf("%.3f", r.TotalLaserW),
+				fmt.Sprintf("%.3f", r.EnergyPerBitJ*1e12))
+		}
+	}
+	fmt.Print(table.String())
+
+	// Chart the frontier at the largest requested radix: worst-case dB is
+	// the axis the topologies actually compete on.
+	top := nodeCounts[len(nodeCounts)-1]
+	chart := stats.NewBarChart(fmt.Sprintf("\nworst-case insertion loss @ %d nodes (dB)", top), 40)
+	for _, name := range names {
+		topo, _ := optnet.Get(name)
+		chart.Add(name, topo.Loss(top).WorstCaseDB)
+	}
+	fmt.Print(chart.String())
+
+	if *detail {
+		for _, name := range names {
+			topo, _ := optnet.Get(name)
+			for _, n := range nodeCounts {
+				fmt.Println()
+				fmt.Print(topo.Loss(n).String())
+			}
+		}
+	}
+}

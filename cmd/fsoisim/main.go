@@ -17,13 +17,14 @@ import (
 	"fsoi/internal/config"
 	"fsoi/internal/core"
 	"fsoi/internal/obs"
+	"fsoi/internal/optnet"
 	"fsoi/internal/system"
 	"fsoi/internal/workload"
 )
 
 func main() {
 	appName := flag.String("app", "jacobi", "application (see -listapps)")
-	netName := flag.String("net", "fsoi", "interconnect: fsoi | mesh | L0 | Lr1 | Lr2 | corona")
+	netName := flag.String("net", "fsoi", "interconnect: fsoi | mesh | L0 | Lr1 | Lr2 | corona | any optnet topology (matrix, snake, ...)")
 	nodes := flag.Int("nodes", 16, "node count (16 or 64)")
 	scale := flag.Float64("scale", 0.5, "workload scale factor")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -53,12 +54,16 @@ func main() {
 		"fsoi": system.NetFSOI, "mesh": system.NetMesh, "L0": system.NetL0,
 		"Lr1": system.NetLr1, "Lr2": system.NetLr2, "corona": system.NetCorona,
 	}[*netName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "fsoisim: unknown network %q\n", *netName)
-		os.Exit(2)
-	}
-
 	cfg := system.Default(*nodes, kind)
+	if !ok {
+		// Fall back to the optical-topology registry (matrix, snake, ...).
+		if _, reg := optnet.Get(*netName); !reg {
+			fmt.Fprintf(os.Stderr, "fsoisim: unknown network %q (optical topologies: %v)\n",
+				*netName, optnet.Names())
+			os.Exit(2)
+		}
+		cfg = system.DefaultOptical(*nodes, *netName)
+	}
 	cfg.Seed = *seed
 	cfg.Memory.TotalGBps = *memGBps
 	if *noOpt {

@@ -12,6 +12,7 @@ import (
 
 	"fsoi/internal/core"
 	"fsoi/internal/fault"
+	"fsoi/internal/optnet"
 	"fsoi/internal/system"
 	"fsoi/internal/thermal"
 )
@@ -21,7 +22,7 @@ import (
 // network, so a spec needs to mention only what it changes.
 type Spec struct {
 	Nodes   int     `json:"nodes"`           // 16 or 64
-	Network string  `json:"network"`         // fsoi | mesh | L0 | Lr1 | Lr2 | corona
+	Network string  `json:"network"`         // fsoi | mesh | L0 | Lr1 | Lr2 | corona | any optnet topology
 	App     string  `json:"app,omitempty"`   // workload name
 	Scale   float64 `json:"scale,omitempty"` // workload scale factor
 	Seed    uint64  `json:"seed,omitempty"`
@@ -159,10 +160,15 @@ func (s Spec) Build() (system.Config, error) {
 		netName = "fsoi"
 	}
 	kind, ok := networkKinds[netName]
-	if !ok {
-		return system.Config{}, fmt.Errorf("config: unknown network %q", netName)
-	}
 	cfg := system.Default(nodes, kind)
+	if !ok {
+		// Optical-topology registry members (matrix, snake, ...) ride the
+		// NetOptical kind.
+		if _, reg := optnet.Get(netName); !reg {
+			return system.Config{}, fmt.Errorf("config: unknown network %q", netName)
+		}
+		cfg = system.DefaultOptical(nodes, netName)
+	}
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
 	}

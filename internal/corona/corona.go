@@ -1,25 +1,65 @@
-// Package corona models a Corona-style nanophotonic crossbar (Vantrease
-// et al., ISCA 2008) as the related-work baseline of §7.1: every
-// destination owns a WDM channel on a shared waveguide, and senders
-// arbitrate for it with an optical token that circulates at light speed.
-// There is no packet switching and no collision — the cost is the token
-// wait plus channel serialization.
+// Package corona models the family of waveguide-based optical crossbars
+// the FSOI design is compared against: the Corona-style token crossbar
+// (Vantrease et al., ISCA 2008) of §7.1, plus the matrix/λ-router and
+// snake/SWMR WDM variants of the comparative study in arXiv:1512.07492.
+// All three share one event machinery — per-channel FIFOs with
+// serialization and flight delay — and differ only in how packets map
+// onto channels and how senders acquire one:
 //
-// The paper reports FSOI about 1.06x faster than a corona-style design in
-// the 64-way system; this model captures the arbitration latency that
-// drives the gap.
+//   - ArbToken (Corona): every destination owns a WDM channel on a
+//     shared waveguide; senders arbitrate with an optical token that
+//     circulates at light speed. No packet switching, no collisions —
+//     the cost is the token wait plus channel serialization.
+//   - ArbWavelength (matrix/λ-router): every (src, dst) pair owns a
+//     dedicated wavelength route through the ring matrix, so the fabric
+//     is fully non-blocking; only the channel's own serialization
+//     limits it. The price is paid in the physical layer (n² rings and
+//     the worst-case crossing loss internal/optics/losses.go budgets).
+//   - ArbSourceOwned (snake/SWMR): every source owns one broadcast
+//     channel that snakes past all readers, so a source's packets
+//     serialize regardless of destination. The price is the 1:n
+//     broadcast split loss in the physical layer.
+//
+// The paper reports FSOI about 1.06x faster than a corona-style design
+// in the 64-way system; the token model captures the arbitration
+// latency that drives the gap, and the WDM variants bound it from the
+// contention-free side.
 package corona
 
 import (
 	"fsoi/internal/noc"
+	"fsoi/internal/obs"
 	"fsoi/internal/sim"
+	"fsoi/internal/stats"
+)
+
+// Arbitration selects how senders acquire a channel — the resource the
+// crossbar serializes on.
+type Arbitration int
+
+// Crossbar arbitration modes.
+const (
+	// ArbToken is the Corona MWSR crossbar: one channel per destination,
+	// writers arbitrate with a circulating optical token.
+	ArbToken Arbitration = iota
+	// ArbWavelength is the matrix/λ-router crossbar: one dedicated
+	// channel per (src, dst) pair, contention-free.
+	ArbWavelength
+	// ArbSourceOwned is the snake/SWMR crossbar: one broadcast channel
+	// per source; its packets serialize regardless of destination.
+	ArbSourceOwned
 )
 
 // Config parameterizes the crossbar.
 type Config struct {
 	Nodes int
+	// Label names the configuration through noc.Network.Name().
+	Label string
+	// Arb selects the channel topology and arbitration model.
+	Arb Arbitration
 	// TokenRoundTrip is the time for a channel's token to circulate the
 	// full ring, in core cycles (Corona's waveguide loops the die).
+	// Used only under ArbToken.
 	TokenRoundTrip float64
 	// MetaCycles / DataCycles are the channel serialization times.
 	MetaCycles int
@@ -29,11 +69,13 @@ type Config struct {
 	InjectQueue  int
 }
 
-// PaperCorona returns a 64-node configuration with bandwidth comparable
-// to the FSOI lanes.
+// PaperCorona returns a 64-node token-crossbar configuration with
+// bandwidth comparable to the FSOI lanes.
 func PaperCorona(nodes int) Config {
 	return Config{
 		Nodes:          nodes,
+		Label:          "corona",
+		Arb:            ArbToken,
 		TokenRoundTrip: 8,
 		MetaCycles:     2,
 		DataCycles:     5,
@@ -42,42 +84,69 @@ func PaperCorona(nodes int) Config {
 	}
 }
 
-// channel is the per-destination shared medium.
+// MatrixCrossbar returns the matrix/λ-router variant: same serialization
+// and flight budget as the token crossbar, but fully non-blocking.
+func MatrixCrossbar(nodes int) Config {
+	c := PaperCorona(nodes)
+	c.Label = "matrix"
+	c.Arb = ArbWavelength
+	return c
+}
+
+// SnakeCrossbar returns the snake/SWMR variant: same serialization and
+// flight budget, one broadcast channel per source.
+func SnakeCrossbar(nodes int) Config {
+	c := PaperCorona(nodes)
+	c.Label = "snake"
+	c.Arb = ArbSourceOwned
+	return c
+}
+
+// channels returns how many independent channels the arbitration mode
+// provides.
+func (c Config) channels() int {
+	if c.Arb == ArbWavelength {
+		return c.Nodes * c.Nodes
+	}
+	return c.Nodes
+}
+
+// channelOf maps a packet onto its serializing channel.
+func (c Config) channelOf(p *noc.Packet) int {
+	switch c.Arb {
+	case ArbWavelength:
+		return p.Src*c.Nodes + p.Dst
+	case ArbSourceOwned:
+		return p.Src
+	}
+	return p.Dst
+}
+
+// channel is the per-channel shared medium.
 type channel struct {
 	waiting  []*noc.Packet // FIFO per requesting order
 	busyTill sim.Cycle
 	armed    bool // a grant event is scheduled
 }
 
-// Network is the token-arbitrated crossbar.
+// Network is the event-driven crossbar.
 type Network struct {
 	cfg       Config
 	engine    *sim.Engine
 	deliverFn noc.DeliveryFunc
 	lat       noc.LatencyStats
 	channels  []*channel
-	queued    []int // per-node injected count (for queue bound)
-	TokenWait stats
-}
-
-// stats is a tiny mean accumulator for token waits.
-type stats struct {
-	n   int64
-	sum float64
-}
-
-// Mean reports the average token wait in cycles.
-func (s stats) Mean() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.sum / float64(s.n)
+	queued    []int         // per-node injected count (for queue bound)
+	obs       *obs.Recorder // nil unless lifecycle tracing is on
+	// TokenWait accumulates the per-grant token wait in cycles
+	// (ArbToken only; the WDM variants never wait for a grant).
+	TokenWait stats.Summary
 }
 
 // New builds the crossbar.
 func New(cfg Config, engine *sim.Engine) *Network {
 	n := &Network{cfg: cfg, engine: engine}
-	n.channels = make([]*channel, cfg.Nodes)
+	n.channels = make([]*channel, cfg.channels())
 	for i := range n.channels {
 		n.channels[i] = &channel{}
 	}
@@ -86,13 +155,24 @@ func New(cfg Config, engine *sim.Engine) *Network {
 }
 
 // Name identifies the configuration.
-func (n *Network) Name() string { return "corona" }
+func (n *Network) Name() string {
+	if n.cfg.Label == "" {
+		return "corona"
+	}
+	return n.cfg.Label
+}
 
 // LatencyStats exposes accumulated measurements.
 func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
 
 // SetDelivery installs the destination callback.
 func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
+
+// SetObserver attaches a lifecycle-event recorder. The crossbars emit
+// tx-start events when a packet's serialization begins (injection and
+// delivery come from the system layer); with no recorder attached every
+// emission site is a single nil check.
+func (n *Network) SetObserver(r *obs.Recorder) { n.obs = r }
 
 // tokenRate returns token positions advanced per cycle.
 func (n *Network) tokenRate() float64 {
@@ -116,15 +196,14 @@ func (n *Network) Send(p *noc.Packet) bool {
 	}
 	n.queued[p.Src]++
 	p.Created = n.engine.Now()
-	ch := n.channels[p.Dst]
+	ch := n.channels[n.cfg.channelOf(p)]
 	ch.waiting = append(ch.waiting, p)
-	n.arm(p.Dst)
+	n.arm(ch)
 	return true
 }
 
-// arm schedules the next grant on channel dst if not already pending.
-func (n *Network) arm(dst int) {
-	ch := n.channels[dst]
+// arm schedules the next grant on the channel if not already pending.
+func (n *Network) arm(ch *channel) {
 	if ch.armed || len(ch.waiting) == 0 {
 		return
 	}
@@ -133,22 +212,24 @@ func (n *Network) arm(dst int) {
 	if start < now {
 		start = now
 	}
-	// The oldest waiter grabs the token when it next passes its station.
 	p := ch.waiting[0]
-	wait := n.tokenWait(p.Src, dst, start)
-	n.TokenWait.n++
-	n.TokenWait.sum += wait
+	var wait float64
+	if n.cfg.Arb == ArbToken {
+		// The oldest waiter grabs the token when it next passes its
+		// station; the WDM variants own their channel outright.
+		wait = n.tokenWait(p.Src, p.Dst, start)
+		n.TokenWait.Add(wait)
+	}
 	grant := start + sim.Cycle(wait+0.9999)
 	ch.armed = true
 	n.engine.At(grant, func(at sim.Cycle) {
 		ch.armed = false
-		n.grant(dst, at)
+		n.grant(ch, at)
 	})
 }
 
-// grant transmits the head packet on channel dst.
-func (n *Network) grant(dst int, now sim.Cycle) {
-	ch := n.channels[dst]
+// grant transmits the head packet on the channel.
+func (n *Network) grant(ch *channel, now sim.Cycle) {
 	if len(ch.waiting) == 0 {
 		return
 	}
@@ -161,6 +242,13 @@ func (n *Network) grant(dst int, now sim.Cycle) {
 	ch.busyTill = now + sim.Cycle(ser)
 	p.QueuingDelay = int64(now - p.Created)
 	p.NetworkDelay = int64(ser + n.cfg.FlightCycles)
+	if n.obs != nil {
+		n.obs.Emit(obs.Event{
+			At: now, Kind: obs.KindTxStart, ID: p.ID,
+			Src: int32(p.Src), Dst: int32(p.Dst),
+			Class: uint8(p.Type), Lane: int8(p.Type),
+		})
+	}
 	done := ch.busyTill + sim.Cycle(n.cfg.FlightCycles)
 	n.queued[p.Src]--
 	n.engine.At(done, func(at sim.Cycle) {
@@ -169,7 +257,7 @@ func (n *Network) grant(dst int, now sim.Cycle) {
 			n.deliverFn(p, at)
 		}
 	})
-	n.arm(dst)
+	n.arm(ch)
 }
 
 // Tick is a no-op; the crossbar is fully event-driven.

@@ -110,6 +110,7 @@ var Registry = []struct {
 	{"hints", Hints},
 	{"llsc", LLSC},
 	{"corona", Corona},
+	{"frontier", Frontier},
 	{"faults", Faults},
 }
 
@@ -241,6 +242,9 @@ type simJob struct {
 	kind   system.NetworkKind
 	nodes  int
 	mutate func(*system.Config)
+	// tag overrides the network-kind name in trace labels; grids that
+	// multiplex several topologies through one kind (NetOptical) set it.
+	tag string
 }
 
 // runGrid executes the jobs on up to o.Workers goroutines and returns
@@ -258,7 +262,11 @@ func runGrid(o Options, jobs []simJob) []system.Metrics {
 		// the grid or which finished first.
 		for i, m := range ms {
 			j := jobs[i]
-			o.Trace.WriteRun(fmt.Sprintf("job%03d %s %s n%d", i, j.app.Name, j.kind, j.nodes), m.Obs)
+			label := j.kind.String()
+			if j.tag != "" {
+				label = j.tag
+			}
+			o.Trace.WriteRun(fmt.Sprintf("job%03d %s %s n%d", i, j.app.Name, label, j.nodes), m.Obs)
 		}
 	}
 	return ms

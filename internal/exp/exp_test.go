@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -158,6 +159,56 @@ func TestFig8WorkerEquivalence(t *testing.T) {
 		if pv, ok := parallel.Values[k]; !ok || pv != v {
 			t.Fatalf("value %q diverges: %v vs %v", k, v, parallel.Values[k])
 		}
+	}
+}
+
+// TestFrontierShape checks the frontier sweep's physical narrative: the
+// analytic grid covers every registered topology at 16/64/256 nodes,
+// waveguide-crossbar loss grows with radix while FSOI's stays flat, and
+// the simulated half produces the FSOI-vs-token-crossbar ratio.
+func TestFrontierShape(t *testing.T) {
+	res := Frontier(tiny())
+	for _, topo := range []string{"corona", "fsoi", "matrix", "snake"} {
+		for _, nodes := range []int{16, 64, 256} {
+			if res.Values[key2("loss", topo, nodes)] <= 0 {
+				t.Fatalf("missing analytic loss for %s@%d", topo, nodes)
+			}
+		}
+		if res.Values[key2("cycles", topo, 16)] <= 0 {
+			t.Fatalf("missing simulated cycles for %s@16", topo)
+		}
+	}
+	for _, topo := range []string{"corona", "matrix", "snake"} {
+		if res.Values[key2("loss", topo, 256)] <= res.Values[key2("loss", topo, 16)] {
+			t.Fatalf("%s loss must grow with radix", topo)
+		}
+		// The headline: every waveguide crossbar loses to free space at 256.
+		if res.Values[key2("loss", topo, 256)] <= res.Values[key2("loss", "fsoi", 256)] {
+			t.Fatalf("%s@256 should pay more worst-case loss than fsoi", topo)
+		}
+	}
+	ratio := res.Values["fsoi_vs_corona_16"]
+	if ratio < 0.8 || ratio > 1.6 {
+		t.Fatalf("fsoi-vs-corona ratio %.3f implausible", ratio)
+	}
+}
+
+func key2(prefix, topo string, nodes int) string {
+	return fmt.Sprintf("%s_%s_%d", prefix, topo, nodes)
+}
+
+// TestFrontierWorkerEquivalence extends the parallel-vs-serial contract
+// to the topology-zoo grid: the frontier runs every registered topology
+// through the NetOptical path, and its rendered table must be
+// byte-identical at any worker count.
+func TestFrontierWorkerEquivalence(t *testing.T) {
+	run := func(workers int) Result {
+		o := tiny()
+		o.Workers = workers
+		return Frontier(o)
+	}
+	if a, b := run(1), run(8); a.Text != b.Text {
+		t.Fatalf("frontier text diverges between workers=1 and workers=8:\n%s\n---\n%s", a.Text, b.Text)
 	}
 }
 

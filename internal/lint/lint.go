@@ -66,6 +66,8 @@ var simPackages = []string{
 	"internal/cpu",
 	"internal/workload",
 	"internal/obs",
+	"internal/corona",
+	"internal/optnet",
 }
 
 // isSimPackage reports whether the module-relative path rel is (or is

@@ -1,0 +1,46 @@
+package optnet_test
+
+import (
+	"testing"
+
+	"fsoi/internal/mesh"
+	"fsoi/internal/noc"
+	"fsoi/internal/noc/noctest"
+	"fsoi/internal/optnet"
+	"fsoi/internal/sim"
+)
+
+// TestRegistryConformance runs the shared noc.Network conformance
+// harness over every registered optical topology. The Ordered flag
+// comes from the registry itself, so a new member declaring in-order
+// delivery is held to it automatically.
+func TestRegistryConformance(t *testing.T) {
+	for _, name := range optnet.Names() {
+		topo, _ := optnet.Get(name)
+		noctest.Harness{
+			Name: name,
+			Build: func(engine *sim.Engine, rng *sim.RNG) noc.Network {
+				return topo.Build(16, engine, rng)
+			},
+			Nodes:   16,
+			Ordered: topo.Ordered,
+			Seed:    42,
+		}.Run(t)
+	}
+}
+
+// TestMeshConformance holds the electrical baseline to the same
+// contract. The mesh injects one packet at a time per source and
+// dimension-order routes, but per-hop VC allocation can let a later
+// packet overtake an earlier one on the same pair, so it does not
+// declare ordered delivery.
+func TestMeshConformance(t *testing.T) {
+	noctest.Harness{
+		Name: "mesh",
+		Build: func(engine *sim.Engine, rng *sim.RNG) noc.Network {
+			return mesh.New(mesh.PaperMesh(4), engine)
+		},
+		Nodes: 16,
+		Seed:  42,
+	}.Run(t)
+}

@@ -1,0 +1,120 @@
+package optnet
+
+import (
+	"reflect"
+	"testing"
+
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+)
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	want := []string{"corona", "fsoi", "matrix", "snake"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestBuildEveryTopology(t *testing.T) {
+	for _, name := range Names() {
+		engine := sim.NewEngine()
+		n, err := Build(name, 16, engine, sim.NewRNG(1))
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if n.Name() != name {
+			t.Fatalf("Build(%s).Name() = %q; registry name and network name must agree", name, n.Name())
+		}
+		if n.LatencyStats() == nil {
+			t.Fatalf("Build(%s): nil latency stats", name)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("warpdrive", 16, sim.NewEngine(), sim.NewRNG(1)); err == nil {
+		t.Fatal("unknown topology must error")
+	}
+}
+
+func TestLossModelsCoverAnalyticGrid(t *testing.T) {
+	for _, name := range Names() {
+		topo, _ := Get(name)
+		for _, nodes := range []int{16, 64, 256} {
+			r := topo.Loss(nodes)
+			if r.Topology != name || r.Nodes != nodes {
+				t.Fatalf("%s loss report mislabeled: %q @ %d", name, r.Topology, r.Nodes)
+			}
+			if r.WorstCaseDB <= 0 || r.EnergyPerBitJ <= 0 {
+				t.Fatalf("%s@%d: loss model did not close: %+v", name, nodes, r)
+			}
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, topo Topology) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register must panic", name)
+			}
+		}()
+		Register(topo)
+	}
+	mustPanic("empty", Topology{})
+	existing, _ := Get("corona")
+	mustPanic("duplicate", existing)
+}
+
+func TestMeshDim(t *testing.T) {
+	for nodes, want := range map[int]int{16: 4, 64: 8, 256: 16, 1024: 32} {
+		d, err := MeshDim(nodes)
+		if err != nil || d != want {
+			t.Fatalf("MeshDim(%d) = %d, %v; want %d", nodes, d, err, want)
+		}
+	}
+	if _, err := MeshDim(48); err == nil {
+		t.Fatal("non-square node count must error")
+	}
+}
+
+// TestTopologiesAreDistinct drives the three crossbars with one burst
+// and checks the arbitration models actually diverge: the matrix is
+// contention-free, the token crossbar pays arbitration, and the snake
+// serializes per source.
+func TestTopologiesAreDistinct(t *testing.T) {
+	run := func(name string) (maxLat int64) {
+		engine := sim.NewEngine()
+		n, err := Build(name, 64, engine, sim.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lats []int64
+		n.SetDelivery(func(p *noc.Packet, now sim.Cycle) { lats = append(lats, p.TotalLatency()) })
+		engine.Register(sim.TickFunc(n.Tick))
+		// One source sprays six destinations back to back.
+		for dst := 1; dst <= 6; dst++ {
+			if !n.Send(&noc.Packet{ID: uint64(dst), Src: 0, Dst: dst, Type: noc.Data}) {
+				t.Fatalf("%s rejected packet %d", name, dst)
+			}
+		}
+		engine.Run(500)
+		if len(lats) != 6 {
+			t.Fatalf("%s delivered %d of 6", name, len(lats))
+		}
+		for _, l := range lats {
+			if l > maxLat {
+				maxLat = l
+			}
+		}
+		return maxLat
+	}
+	matrix, snake := run("matrix"), run("snake")
+	if matrix != 6 {
+		t.Fatalf("matrix burst max latency %d, want contention-free 6", matrix)
+	}
+	if snake < 25 {
+		t.Fatalf("snake burst max latency %d, want source-serialized >= 25", snake)
+	}
+}

@@ -1,0 +1,72 @@
+package optnet
+
+import (
+	"fsoi/internal/core"
+	"fsoi/internal/corona"
+	"fsoi/internal/noc"
+	"fsoi/internal/optics"
+	"fsoi/internal/sim"
+)
+
+// chipFor returns the paper floorplan scaled to a node count.
+func chipFor(nodes int) optics.ChipGeometry {
+	dim, err := MeshDim(nodes)
+	if err != nil {
+		panic(err)
+	}
+	return optics.PaperChip(dim)
+}
+
+// The built-in family. Registration order is irrelevant — lookups go
+// through the sorted Names slice.
+func init() {
+	dev := optics.PaperWaveguideDevices()
+
+	Register(Topology{
+		Name:        "corona",
+		Description: "Corona-style MWSR token crossbar (§7.1 baseline)",
+		Ordered:     true,
+		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+			return corona.New(corona.PaperCorona(nodes), engine)
+		},
+		Loss: func(nodes int) optics.LossReport {
+			return dev.TokenCrossbarLoss(nodes, chipFor(nodes))
+		},
+	})
+
+	Register(Topology{
+		Name:        "matrix",
+		Description: "matrix/λ-router WDM crossbar, fully non-blocking (arXiv:1512.07492)",
+		Ordered:     true,
+		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+			return corona.New(corona.MatrixCrossbar(nodes), engine)
+		},
+		Loss: func(nodes int) optics.LossReport {
+			return dev.MatrixCrossbarLoss(nodes, chipFor(nodes))
+		},
+	})
+
+	Register(Topology{
+		Name:        "snake",
+		Description: "snake/SWMR broadcast crossbar, source-serialized (arXiv:1512.07492)",
+		Ordered:     true,
+		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+			return corona.New(corona.SnakeCrossbar(nodes), engine)
+		},
+		Loss: func(nodes int) optics.LossReport {
+			return dev.SnakeCrossbarLoss(nodes, chipFor(nodes))
+		},
+	})
+
+	Register(Topology{
+		Name:        "fsoi",
+		Description: "beam-steered free-space interconnect (the paper's design)",
+		Ordered:     false,
+		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+			return core.New(core.PaperConfig(nodes), engine, rng)
+		},
+		Loss: func(nodes int) optics.LossReport {
+			return dev.FSOILoss(nodes, optics.PaperLink(), optics.PaperPhaseArray(), chipFor(nodes))
+		},
+	})
+}

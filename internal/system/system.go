@@ -17,6 +17,7 @@ import (
 	"fsoi/internal/mesh"
 	"fsoi/internal/noc"
 	"fsoi/internal/obs"
+	"fsoi/internal/optnet"
 	"fsoi/internal/power"
 	"fsoi/internal/sim"
 	"fsoi/internal/stats"
@@ -28,12 +29,13 @@ type NetworkKind int
 
 // Interconnect configurations of Figures 6/7.
 const (
-	NetFSOI   NetworkKind = iota
-	NetMesh               // canonical 4-cycle routers, full contention
-	NetL0                 // idealized: serialization + source queuing only
-	NetLr1                // 1-cycle routers, contention-free
-	NetLr2                // 2-cycle routers, contention-free
-	NetCorona             // corona-style token-arbitrated optical crossbar
+	NetFSOI    NetworkKind = iota
+	NetMesh                // canonical 4-cycle routers, full contention
+	NetL0                  // idealized: serialization + source queuing only
+	NetLr1                 // 1-cycle routers, contention-free
+	NetLr2                 // 2-cycle routers, contention-free
+	NetCorona              // corona-style token-arbitrated optical crossbar
+	NetOptical             // any member of the optnet registry (Config.Optical)
 )
 
 // String names the network kind.
@@ -51,14 +53,22 @@ func (k NetworkKind) String() string {
 		return "Lr2"
 	case NetCorona:
 		return "corona"
+	case NetOptical:
+		return "optical"
 	}
 	return fmt.Sprintf("NetworkKind(%d)", int(k))
 }
 
 // Config assembles a run.
 type Config struct {
-	Nodes     int
-	Net       NetworkKind
+	Nodes int
+	Net   NetworkKind
+	// Optical names the optnet registry member to build when Net ==
+	// NetOptical. The "fsoi" member is normalized to the NetFSOI path so
+	// it keeps its confirmation channel, packet recycling, and fault
+	// hooks; the registry entry exists for the frontier loss models and
+	// the conformance suite.
+	Optical   string
 	FSOI      core.Config // used when Net == NetFSOI
 	Memory    memory.Config
 	L1        coherence.L1Config
@@ -114,6 +124,14 @@ func Default(nodes int, net NetworkKind) Config {
 		Seed:      1,
 		MaxCycles: 40_000_000,
 	}
+}
+
+// DefaultOptical returns the paper configuration wired to an optnet
+// registry topology by name.
+func DefaultOptical(nodes int, topology string) Config {
+	cfg := Default(nodes, NetOptical)
+	cfg.Optical = topology
+	return cfg
 }
 
 // meshDim returns the mesh edge for a node count (must be square).
@@ -288,6 +306,12 @@ func (t transport) SendBit(from, to int, tag uint64, value bool) {
 
 // New assembles a system.
 func New(cfg Config) *System {
+	if cfg.Net == NetOptical && cfg.Optical == "fsoi" {
+		// The FSOI registry member must run through the dedicated path:
+		// its packets stay live until confirmation, which the generic
+		// optical delivery path (recycle at delivery) would violate.
+		cfg.Net = NetFSOI
+	}
 	s := &System{
 		cfg:         cfg,
 		engine:      sim.NewEngine(),
@@ -328,6 +352,12 @@ func New(cfg Config) *System {
 		s.net = mesh.NewLr(dim, 2, s.engine)
 	case NetCorona:
 		s.net = corona.New(corona.PaperCorona(cfg.Nodes), s.engine)
+	case NetOptical:
+		n, err := optnet.Build(cfg.Optical, cfg.Nodes, s.engine, s.rng)
+		if err != nil {
+			panic(fmt.Sprintf("system: %v", err))
+		}
+		s.net = n
 	default:
 		panic("system: unknown network kind")
 	}
@@ -366,8 +396,11 @@ func New(cfg Config) *System {
 	if cfg.Observe {
 		s.obsRec = obs.NewRecorder(cfg.ObserveLimit)
 		s.obsReg = obs.NewRegistry()
-		if s.fsoi != nil {
-			s.fsoi.SetObserver(s.obsRec)
+		// Any network exposing the observer hook gets the recorder: FSOI
+		// emits the full per-attempt lifecycle, the crossbar family emits
+		// tx-start at arbitration grant.
+		if o, ok := s.net.(interface{ SetObserver(r *obs.Recorder) }); ok {
+			o.SetObserver(s.obsRec)
 		}
 		if s.injector != nil {
 			s.injector.AnnotateTrace(s.obsRec)
@@ -556,9 +589,14 @@ func (s *System) Run(app workload.App) Metrics {
 
 // collect assembles the metrics of a finished run.
 func (s *System) collect(app string) Metrics {
+	netName := s.cfg.Net.String()
+	if s.cfg.Net == NetOptical {
+		// Report the concrete topology, not the umbrella kind.
+		netName = s.net.Name()
+	}
 	m := Metrics{
 		App:      app,
-		Net:      s.cfg.Net.String(),
+		Net:      netName,
 		Nodes:    s.cfg.Nodes,
 		Cycles:   s.engine.Now(),
 		Finished: s.finished == s.cfg.Nodes,
