@@ -10,6 +10,7 @@
 //	benchtrend              # writes BENCH_<next>.json in the cwd
 //	benchtrend -n 0 -dir .  # explicit index and directory
 //	benchtrend -j 4         # experiment timings with 4 workers
+//	benchtrend -check BENCH_0.json   # regression gate, writes nothing
 //
 // Engine numbers are scheduler-independent; experiment wall-clock
 // depends on -j and the host, so snapshots record both alongside
@@ -126,7 +127,17 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding the BENCH_<n>.json history")
 	index := flag.Int("n", -1, "snapshot index (-1 = one past the highest existing)")
 	jobs := flag.Int("j", 1, "concurrent simulations for experiment timings (0 = one per CPU)")
+	check := flag.String("check", "", "regression-gate mode: re-measure the engine hot path, compare against this snapshot, exit 1 on regression; writes nothing")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown in -check mode (allocs/op must never grow)")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkEngine(*check, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	n := *index
 	if n < 0 {
@@ -177,6 +188,50 @@ func main() {
 	}
 	fmt.Printf("wrote %s (engine schedule %.1f ns/op, %d allocs/op)\n",
 		path, snap.Engine["schedule"].NsPerOp, snap.Engine["schedule"].AllocsPerOp)
+}
+
+// checkEngine is the CI regression gate: it re-measures the engine hot
+// path and fails when the schedule or churn benchmark regressed past
+// the tolerance. Allocation counts are machine-independent and must
+// never grow; ns/op is compared with the fractional tolerance to
+// absorb host-to-host variance.
+func checkEngine(baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	fresh := map[string]engineBench{
+		"schedule": record(testing.Benchmark(benchSchedule)),
+		"churn":    record(testing.Benchmark(benchChurn)),
+	}
+	failed := false
+	for _, name := range []string{"schedule", "churn"} {
+		want, ok := base.Engine[name]
+		if !ok {
+			return fmt.Errorf("%s has no engine benchmark %q", baselinePath, name)
+		}
+		got := fresh[name]
+		limit := want.NsPerOp * (1 + tolerance)
+		verdict := "ok"
+		if got.AllocsPerOp > want.AllocsPerOp {
+			verdict = fmt.Sprintf("FAIL: %d allocs/op, baseline %d", got.AllocsPerOp, want.AllocsPerOp)
+			failed = true
+		} else if got.NsPerOp > limit {
+			verdict = fmt.Sprintf("FAIL: exceeds baseline by more than %.0f%%", tolerance*100)
+			failed = true
+		}
+		fmt.Printf("engine %-8s  %10.1f ns/op (baseline %.1f, limit %.1f)  %d allocs/op  %s\n",
+			name, got.NsPerOp, want.NsPerOp, limit, got.AllocsPerOp, verdict)
+	}
+	if failed {
+		return fmt.Errorf("engine hot path regressed against %s", baselinePath)
+	}
+	fmt.Printf("engine hot path within %.0f%% of %s\n", tolerance*100, baselinePath)
+	return nil
 }
 
 // record converts a testing.BenchmarkResult to the snapshot schema.

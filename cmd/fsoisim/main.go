@@ -34,6 +34,8 @@ func main() {
 	traceFile := flag.String("tracefile", "", "record packet-lifecycle events and write them as JSON Lines (read with cmd/fsoitrace)")
 	chromeTrace := flag.String("chrometrace", "", "record packet-lifecycle events and write a Chrome trace-event file (chrome://tracing, Perfetto)")
 	profilePath := flag.String("profile", "", "write a host CPU profile (pprof) of the run and print engine counters")
+	shards := flag.Int("shards", 0, "run on the exact sharded engine with N shards (output is byte-identical to serial; 0/1 = serial engine)")
+	canonicalPath := flag.String("canonical", "", "write the canonical metric listing to a file (- for stdout), the byte-comparison surface of the equivalence CI")
 	configPath := flag.String("config", "", "JSON spec overriding the flags (see internal/config)")
 	listApps := flag.Bool("listapps", false, "list applications and exit")
 	flag.Parse()
@@ -92,6 +94,9 @@ func main() {
 	}
 	if *traceFile != "" || *chromeTrace != "" {
 		cfg.Observe = true
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 	s := system.New(cfg)
 	if *profilePath != "" {
@@ -161,6 +166,21 @@ func main() {
 		fmt.Printf("\nengine              %d events fired, event-queue high-water mark %d\n",
 			e.EventsFired(), e.MaxQueueDepth())
 		fmt.Printf("cpu profile         written to %s\n", *profilePath)
+	}
+	if se := s.ShardEngine(); se != nil {
+		fmt.Printf("shards              %d shards, %d cross-shard handoffs (%d under the %d-cycle lookahead)\n",
+			se.Shards(), se.Handoffs(), se.UnderLookahead(), se.Lookahead())
+	}
+	if *canonicalPath != "" {
+		text := m.Canonical()
+		if *canonicalPath == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*canonicalPath, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fsoisim:", err)
+			os.Exit(1)
+		} else {
+			fmt.Printf("canonical metrics   written to %s\n", *canonicalPath)
+		}
 	}
 }
 

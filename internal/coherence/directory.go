@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"fsoi/internal/cache"
@@ -42,17 +43,71 @@ func (s dirState) String() string { return dirStateNames[s] }
 // stable reports whether the state accepts new requests directly.
 func (s dirState) stable() bool { return s <= sDM }
 
+// sharerSet is a growable bitset of node ids holding S copies. The
+// zero value is empty. It replaces the former single-uint64 mask,
+// whose 64-node capacity silently dropped sharers at larger systems
+// (1<<n is 0 in Go for shifts >= 64): a node past 63 was never
+// recorded, its upgrade requests were forever reinterpreted as
+// exclusive reads, and 256-node runs wedged with cores ≡ k (mod 64)
+// spinning on misses that could not complete.
+type sharerSet []uint64
+
+// has reports membership.
+func (s sharerSet) has(n int) bool {
+	w := n >> 6
+	return w < len(s) && s[w]&(1<<uint(n&63)) != 0
+}
+
+// add returns the set with node n included, growing in place when the
+// backing array allows.
+func (s sharerSet) add(n int) sharerSet {
+	w := n >> 6
+	for len(s) <= w {
+		s = append(s, 0)
+	}
+	s[w] |= 1 << uint(n&63)
+	return s
+}
+
+// clearAll empties the set, retaining the backing array for reuse.
+func (s sharerSet) clearAll() sharerSet {
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// forEach visits members in ascending node order — the same
+// deterministic order the old 0..63 scan used.
+func (s sharerSet) forEach(fn func(n int)) {
+	for w, word := range s {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			fn(w<<6 | b)
+		}
+	}
+}
+
+// low64 returns the first 64 bits, for the Sharers introspection API.
+func (s sharerSet) low64() uint64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
 // dirEntry is the directory's record for one line homed at this slice.
 type dirEntry struct {
 	addr      cache.LineAddr
 	state     dirState
-	sharers   uint64 // bitset of nodes with S copies
-	owner     int    // valid in sDM and DM transients
-	dirty     bool   // L2 copy newer than memory
-	requester int    // requester of the in-flight transaction
-	wantExc   bool   // in DI transients: exclusive-mode fetch
-	acks      int    // outstanding InvAcks
-	pending   []Msg  // "z"-stalled requests, FIFO
+	sharers   sharerSet // nodes with S copies
+	owner     int       // valid in sDM and DM transients
+	dirty     bool      // L2 copy newer than memory
+	requester int       // requester of the in-flight transaction
+	wantExc   bool      // in DI transients: exclusive-mode fetch
+	acks      int       // outstanding InvAcks
+	pending   []Msg     // "z"-stalled requests, FIFO
 	lru       uint64
 }
 
@@ -90,7 +145,7 @@ type DirStats struct {
 type Directory struct {
 	id      int
 	cfg     DirConfig
-	engine  *sim.Engine
+	engine  sim.Scheduler
 	tr      Transport
 	memNode func(home int) int // memory-controller attach point
 	entries map[cache.LineAddr]*dirEntry
@@ -108,7 +163,7 @@ type Directory struct {
 }
 
 // NewDirectory builds the home slice for node id.
-func NewDirectory(id int, cfg DirConfig, engine *sim.Engine, tr Transport, memNode func(int) int) *Directory {
+func NewDirectory(id int, cfg DirConfig, engine sim.Scheduler, tr Transport, memNode func(int) int) *Directory {
 	d := &Directory{
 		id:       id,
 		cfg:      cfg,
@@ -210,7 +265,7 @@ func (d *Directory) maybeEvict(exclude cache.LineAddr) {
 		d.evictFinish(victim)
 	case sDS:
 		victim.state = tDSDIA
-		victim.acks = d.invalidateSharers(victim, ^uint64(0))
+		victim.acks = d.invalidateSharers(victim, -1)
 		if victim.acks == 0 {
 			d.evictFinish(victim)
 		}
@@ -229,15 +284,16 @@ func (d *Directory) evictFinish(e *dirEntry) {
 	delete(d.entries, e.addr)
 }
 
-// invalidateSharers sends Inv to every sharer in mask and returns the
-// count. Sharer invalidations are elidable: the network confirmation of
-// each Inv serves as the ack when the transport supports it.
-func (d *Directory) invalidateSharers(e *dirEntry, mask uint64) int {
+// invalidateSharers sends Inv to every sharer but except (pass -1 to
+// spare none) and returns the count, emptying the set. Sharer
+// invalidations are elidable: the network confirmation of each Inv
+// serves as the ack when the transport supports it.
+func (d *Directory) invalidateSharers(e *dirEntry, except int) int {
 	count := 0
 	elide := d.tr.ConfirmationElision()
-	for n := 0; n < 64; n++ {
-		if e.sharers&(1<<uint(n))&mask == 0 {
-			continue
+	e.sharers.forEach(func(n int) {
+		if n == except {
+			return
 		}
 		count++
 		d.stats.InvSent++
@@ -245,8 +301,8 @@ func (d *Directory) invalidateSharers(e *dirEntry, mask uint64) int {
 			Type: Inv, Addr: e.addr, From: d.id, To: n,
 			Requester: e.requester, Value: elide,
 		})
-	}
-	e.sharers &^= mask
+	})
+	e.sharers = e.sharers.clearAll()
 	return count
 }
 
@@ -333,7 +389,7 @@ func (d *Directory) handleRequest(e *dirEntry, m Msg, now sim.Cycle) {
 	req := m.Type
 	// Upgrade from a node the directory no longer counts as a sharer is
 	// reinterpreted as an exclusive read ("(Req(Ex))").
-	if req == ReqUpg && (e.state != sDS || e.sharers&(1<<uint(m.From)) == 0) {
+	if req == ReqUpg && (e.state != sDS || !e.sharers.has(m.From)) {
 		req = ReqEx
 	}
 	switch e.state {
@@ -355,12 +411,11 @@ func (d *Directory) handleRequest(e *dirEntry, m Msg, now sim.Cycle) {
 	case sDS:
 		switch req {
 		case ReqSh:
-			e.sharers |= 1 << uint(m.From)
+			e.sharers = e.sharers.add(m.From)
 			d.sendAfter(d.cfg.DataCycles, Msg{Type: DataS, Addr: e.addr, From: d.id, To: m.From, HasData: true})
 		case ReqEx:
 			e.requester = m.From
-			e.acks = d.invalidateSharers(e, ^(uint64(1) << uint(m.From)))
-			e.sharers = 0
+			e.acks = d.invalidateSharers(e, m.From)
 			if e.acks == 0 {
 				d.grant(e, m.From, DataM, now)
 			} else {
@@ -368,8 +423,7 @@ func (d *Directory) handleRequest(e *dirEntry, m Msg, now sim.Cycle) {
 			}
 		case ReqUpg:
 			e.requester = m.From
-			e.acks = d.invalidateSharers(e, ^(uint64(1) << uint(m.From)))
-			e.sharers = 0
+			e.acks = d.invalidateSharers(e, m.From)
 			if e.acks == 0 {
 				d.grantUpgrade(e, m.From)
 				d.resume(e, now)
@@ -402,7 +456,7 @@ func (d *Directory) handleRequest(e *dirEntry, m Msg, now sim.Cycle) {
 func (d *Directory) grant(e *dirEntry, to int, t MsgType, now sim.Cycle) {
 	e.state = sDM
 	e.owner = to
-	e.sharers = 0
+	e.sharers = e.sharers.clearAll()
 	d.sendAfter(d.cfg.DataCycles, Msg{Type: t, Addr: e.addr, From: d.id, To: to, HasData: true})
 	d.resume(e, now)
 }
@@ -411,7 +465,7 @@ func (d *Directory) grant(e *dirEntry, to int, t MsgType, now sim.Cycle) {
 func (d *Directory) grantUpgrade(e *dirEntry, to int) {
 	e.state = sDM
 	e.owner = to
-	e.sharers = 0
+	e.sharers = e.sharers.clearAll()
 	d.sendAfter(d.cfg.TagCycles, Msg{Type: ExcAck, Addr: e.addr, From: d.id, To: to})
 }
 
@@ -488,7 +542,7 @@ func (d *Directory) onDwgAck(e *dirEntry, m Msg, now sim.Cycle) {
 		// prints /DM here; the L1 side has downgraded to S, so the
 		// consistent directory state is DS — see DESIGN.md.)
 		e.state = sDS
-		e.sharers = (1 << uint(e.owner)) | (1 << uint(e.requester))
+		e.sharers = e.sharers.clearAll().add(e.owner).add(e.requester)
 		e.owner = -1
 		d.sendAfter(d.cfg.DataCycles, Msg{Type: DataS, Addr: e.addr, From: d.id, To: e.requester, HasData: true})
 		d.resume(e, now)
@@ -550,7 +604,7 @@ func (d *Directory) EntryState(addr cache.LineAddr) string {
 // Sharers reports the sharer bitset and owner for addr (tests).
 func (d *Directory) Sharers(addr cache.LineAddr) (sharers uint64, owner int) {
 	if e := d.entries[addr]; e != nil {
-		return e.sharers, e.owner
+		return e.sharers.low64(), e.owner
 	}
 	return 0, -1
 }

@@ -88,7 +88,7 @@ type L1Stats struct {
 type L1 struct {
 	id     int
 	cfg    L1Config
-	engine *sim.Engine
+	engine sim.Scheduler
 	rng    *sim.RNG
 	array  *cache.Cache
 	mshr   *cache.MSHR
@@ -101,7 +101,7 @@ type L1 struct {
 }
 
 // NewL1 builds a controller for node id.
-func NewL1(id int, cfg L1Config, engine *sim.Engine, rng *sim.RNG, tr Transport, home func(cache.LineAddr) int) *L1 {
+func NewL1(id int, cfg L1Config, engine sim.Scheduler, rng *sim.RNG, tr Transport, home func(cache.LineAddr) int) *L1 {
 	l := &L1{
 		id:     id,
 		cfg:    cfg,

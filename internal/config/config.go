@@ -52,6 +52,10 @@ type Spec struct {
 
 	// Diagnostics.
 	TracePackets int `json:"trace_packets,omitempty"`
+
+	// Shards > 1 selects the exact sharded engine (internal/sim/shard);
+	// results are byte-identical to the serial engine at any value.
+	Shards int `json:"shards,omitempty"`
 }
 
 // OptSpec toggles the §5 optimizations; nil means all on (the paper
@@ -171,6 +175,9 @@ func (s Spec) Build() (system.Config, error) {
 	}
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
+	}
+	if s.Shards > 0 {
+		cfg.Shards = s.Shards
 	}
 	if s.MetaVCSELs > 0 {
 		cfg.FSOI.MetaVCSELs = s.MetaVCSELs

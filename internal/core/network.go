@@ -146,7 +146,7 @@ func (s *Stats) RetransmissionRate(l Lane) float64 {
 // Network is the FSOI interconnect.
 type Network struct {
 	cfg       Config
-	engine    *sim.Engine
+	engine    sim.Scheduler
 	rng       *sim.RNG
 	deliverFn noc.DeliveryFunc
 	confirmFn ConfirmFunc
@@ -164,7 +164,7 @@ type Network struct {
 
 // New builds an FSOI network over the engine; it panics on an invalid
 // configuration (configs are produced by code, not user input).
-func New(cfg Config, engine *sim.Engine, rng *sim.RNG) *Network {
+func New(cfg Config, engine sim.Scheduler, rng *sim.RNG) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -201,6 +201,14 @@ func (n *Network) Name() string { return "fsoi" }
 
 // LatencyStats exposes the per-packet latency measurements.
 func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// Lookahead declares FSOI's conservative cross-shard window for the
+// sharded engine: the fixed confirmation delay (+2 cycles in the
+// paper). Every cross-node event the network schedules — slot
+// resolution (one slot length, ≥ ConfirmDelay at paper widths),
+// delivery (same-shard by placement), and confirmation (exactly
+// ConfirmDelay) — lands at least this far ahead.
+func (n *Network) Lookahead() sim.Cycle { return sim.Cycle(n.cfg.ConfirmDelay) }
 
 // Stats exposes FSOI-specific counters.
 func (n *Network) Stats() *Stats { return &n.stats }
@@ -351,7 +359,7 @@ func (n *Network) SendConfirmBit(src, dst int, tag uint64, value bool) {
 	n.stats.ConfirmBits++
 	n.conf.reserve(src, dst)
 	extra := n.conf.sendDelay(src, n.engine.Now(), 1)
-	n.engine.After(sim.Cycle(n.cfg.ConfirmDelay)+extra, func(now sim.Cycle) {
+	noc.ScheduleAt(n.engine, dst, n.engine.Now()+sim.Cycle(n.cfg.ConfirmDelay)+extra, func(now sim.Cycle) {
 		if n.bitFn != nil {
 			n.bitFn(src, dst, tag, value, now)
 		}
@@ -467,8 +475,11 @@ func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot
 		n.observe(kind, tx, l, now, slot)
 	}
 	if !existed {
+		// Resolution adjudicates the receiver slot, so it belongs to the
+		// destination node's shard; a slot is at least ConfirmDelay (2)
+		// cycles long, so the handoff clears the lookahead window.
 		slotEnd := sim.Cycle((slot + 1) * int64(n.cfg.SlotCycles(l)))
-		n.engine.At(slotEnd, func(at sim.Cycle) {
+		noc.ScheduleAt(n.engine, key.dst, slotEnd, func(at sim.Cycle) {
 			n.resolve(key, at)
 		})
 	}
@@ -690,7 +701,9 @@ func (n *Network) deliverClean(tx *transmission, l Lane, slot int64, now sim.Cyc
 			p.ResolutionDelay = int64(now - tx.firstSlotEnd)
 		}
 		n.stats.Delivered[l]++
-		n.engine.At(deliverAt, func(at sim.Cycle) {
+		// resolve already runs on the destination's shard; the steering
+		// extra can be zero, so delivery must stay same-shard.
+		noc.ScheduleAt(n.engine, p.Dst, deliverAt, func(at sim.Cycle) {
 			n.lat.Record(p)
 			n.noteReplyArrival(p, at)
 			if n.deliverFn != nil {
@@ -719,7 +732,9 @@ func (n *Network) deliverClean(tx *transmission, l Lane, slot int64, now sim.Cyc
 	// The receipt confirmation occupies the receiver node's confirmation
 	// lane; its header-sized payload is a handful of mini-cycles.
 	confExtra := n.conf.sendDelay(p.Dst, deliverAt, 4)
-	n.engine.At(deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+confExtra, func(at sim.Cycle) {
+	// The confirmation informs the sender, at least ConfirmDelay ahead:
+	// the handoff back to the source's shard clears the window exactly.
+	noc.ScheduleAt(n.engine, p.Src, deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+confExtra, func(at sim.Cycle) {
 		if n.confirmFn != nil {
 			n.confirmFn(p, at)
 		}

@@ -132,7 +132,7 @@ type channel struct {
 // Network is the event-driven crossbar.
 type Network struct {
 	cfg       Config
-	engine    *sim.Engine
+	engine    sim.Scheduler
 	deliverFn noc.DeliveryFunc
 	lat       noc.LatencyStats
 	channels  []*channel
@@ -144,7 +144,7 @@ type Network struct {
 }
 
 // New builds the crossbar.
-func New(cfg Config, engine *sim.Engine) *Network {
+func New(cfg Config, engine sim.Scheduler) *Network {
 	n := &Network{cfg: cfg, engine: engine}
 	n.channels = make([]*channel, cfg.channels())
 	for i := range n.channels {
@@ -164,6 +164,16 @@ func (n *Network) Name() string {
 
 // LatencyStats exposes accumulated measurements.
 func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// Lookahead declares the crossbar's cross-shard window: a delivery is
+// never sooner than the shortest serialization plus ring flight.
+func (n *Network) Lookahead() sim.Cycle {
+	la := sim.Cycle(n.cfg.MetaCycles + n.cfg.FlightCycles)
+	if la < 1 {
+		return 1
+	}
+	return la
+}
 
 // SetDelivery installs the destination callback.
 func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
@@ -251,7 +261,7 @@ func (n *Network) grant(ch *channel, now sim.Cycle) {
 	}
 	done := ch.busyTill + sim.Cycle(n.cfg.FlightCycles)
 	n.queued[p.Src]--
-	n.engine.At(done, func(at sim.Cycle) {
+	noc.ScheduleAt(n.engine, p.Dst, done, func(at sim.Cycle) {
 		n.lat.Record(p)
 		if n.deliverFn != nil {
 			n.deliverFn(p, at)

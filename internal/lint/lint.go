@@ -90,6 +90,13 @@ func isSimPackage(rel string) bool {
 // and fan-out there never touch simulated state.
 var concurrencyAllowlist = []string{
 	"internal/parallel",
+	// The sharded event engine is the one simulation package allowed to
+	// touch host concurrency: its epoch runner fans share-nothing shards
+	// out over the internal/parallel pool, and its exact engine must
+	// stay free to adopt primitives as the epoch path grows. Both are
+	// covered by shard-count-invariance tests, which is the determinism
+	// argument the ban exists to force everywhere else.
+	"internal/sim/shard",
 }
 
 // bansConcurrency reports whether the module-relative path rel is an

@@ -64,7 +64,7 @@ type Stats struct {
 type Controller struct {
 	node     int
 	cfg      Config
-	engine   *sim.Engine
+	engine   sim.Scheduler
 	send     func(coherence.Msg)
 	nextFree sim.Cycle
 	stats    Stats
@@ -73,7 +73,7 @@ type Controller struct {
 
 // NewController builds a channel controller at the given node. send
 // injects reply messages into the interconnect.
-func NewController(node int, cfg Config, engine *sim.Engine, send func(coherence.Msg)) *Controller {
+func NewController(node int, cfg Config, engine sim.Scheduler, send func(coherence.Msg)) *Controller {
 	return &Controller{node: node, cfg: cfg, engine: engine, send: send}
 }
 

@@ -19,7 +19,7 @@ type Ideal struct {
 	routerCycles int // per-hop router cycles; < 0 selects pure L0
 	linkCycles   int
 	injectQueue  int
-	engine       *sim.Engine
+	engine       sim.Scheduler
 	deliverFn    noc.DeliveryFunc
 	lat          noc.LatencyStats
 
@@ -28,14 +28,14 @@ type Ideal struct {
 }
 
 // NewL0 builds the idealized zero-latency network.
-func NewL0(dim int, engine *sim.Engine) *Ideal {
+func NewL0(dim int, engine sim.Scheduler) *Ideal {
 	return &Ideal{dim: dim, routerCycles: -1, linkCycles: 0, injectQueue: 16, engine: engine,
 		queues: make([][]*noc.Packet, dim*dim), busyTill: make([]sim.Cycle, dim*dim)}
 }
 
 // NewLr builds the hop-latency network with the given per-hop router
 // cycles (1 => Lr1, 2 => Lr2).
-func NewLr(dim, routerCycles int, engine *sim.Engine) *Ideal {
+func NewLr(dim, routerCycles int, engine sim.Scheduler) *Ideal {
 	return &Ideal{dim: dim, routerCycles: routerCycles, linkCycles: 1, injectQueue: 16, engine: engine,
 		queues: make([][]*noc.Packet, dim*dim), busyTill: make([]sim.Cycle, dim*dim)}
 }
@@ -50,6 +50,10 @@ func (n *Ideal) Name() string {
 
 // LatencyStats exposes accumulated measurements.
 func (n *Ideal) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// Lookahead declares the ideal networks' cross-shard window: delivery
+// is never sooner than the one-cycle serialization of the first flit.
+func (n *Ideal) Lookahead() sim.Cycle { return 1 }
 
 // SetDelivery installs the destination callback.
 func (n *Ideal) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
@@ -96,7 +100,7 @@ func (n *Ideal) Tick(now sim.Cycle) {
 			network += sim.Cycle(h * (n.linkCycles + n.routerCycles))
 		}
 		p.NetworkDelay = int64(network)
-		n.engine.At(now+network, func(at sim.Cycle) {
+		noc.ScheduleAt(n.engine, p.Dst, now+network, func(at sim.Cycle) {
 			n.lat.Record(p)
 			if n.deliverFn != nil {
 				n.deliverFn(p, at)

@@ -29,7 +29,7 @@ func PaperMesh(dim int) Config {
 // Network is a full contention-modeled 2-D mesh.
 type Network struct {
 	cfg       Config
-	engine    *sim.Engine
+	engine    sim.Scheduler
 	routers   []*router
 	deliverFn noc.DeliveryFunc
 	lat       noc.LatencyStats
@@ -56,7 +56,7 @@ type injection struct {
 }
 
 // New builds a mesh network over the engine.
-func New(cfg Config, engine *sim.Engine) *Network {
+func New(cfg Config, engine sim.Scheduler) *Network {
 	n := &Network{cfg: cfg, engine: engine}
 	count := cfg.Dim * cfg.Dim
 	n.routers = make([]*router, count)
@@ -107,6 +107,16 @@ func (n *Network) Name() string { return fmt.Sprintf("mesh%d", n.cfg.RouterCycle
 
 // LatencyStats exposes accumulated measurements.
 func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+
+// Lookahead declares the mesh's conservative cross-shard window: a
+// flit takes at least one link cycle between adjacent routers, so no
+// cross-node interaction lands sooner than that.
+func (n *Network) Lookahead() sim.Cycle {
+	if n.cfg.LinkCycles < 1 {
+		return 1
+	}
+	return sim.Cycle(n.cfg.LinkCycles)
+}
 
 // SetDelivery installs the destination callback.
 func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }

@@ -110,6 +110,31 @@ type Network interface {
 	LatencyStats() *LatencyStats
 }
 
+// Lookaheader is optionally implemented by networks that can declare a
+// conservative lookahead window: a lower bound, in cycles, on how far
+// in the future any cross-node interaction lands. The sharded engine
+// (internal/sim/shard) sizes its epochs from this — FSOI declares its
+// fixed +2-cycle confirmation delay, the mesh its 1-cycle link
+// traversal. A network that cannot bound its interactions simply does
+// not implement the interface and runs serial-only.
+type Lookaheader interface {
+	Lookahead() sim.Cycle
+}
+
+// ScheduleAt schedules fn at cycle at on the shard that owns node when
+// the engine shards, falling back to a plain At on the serial engine.
+// Networks route a packet's resolution, delivery, and confirmation
+// events through it so each fires on the involved node's home shard;
+// on the serial engine the two paths are the same queue, so behaviour
+// is identical by construction.
+func ScheduleAt(engine sim.Scheduler, node int, at sim.Cycle, fn func(now sim.Cycle)) {
+	if s, ok := engine.(sim.Sharder); ok {
+		s.Handoff(s.NodeShard(node), at, fn)
+		return
+	}
+	engine.At(at, fn)
+}
+
 // LatencyStats accumulates the Figure 6/7 breakdown.
 type LatencyStats struct {
 	Queuing    stats.Summary

@@ -13,7 +13,10 @@
 //     it (FSOI's collision backoff may reorder; the system layer
 //     restores per-line order above it);
 //   - deterministic replay: two runs from the same seed produce
-//     identical delivery transcripts, cycle for cycle.
+//     identical delivery transcripts, cycle for cycle;
+//   - shard invariance: when Shards is set, the same run on the exact
+//     sharded engine (internal/sim/shard) reproduces the serial
+//     transcript byte for byte at every shard count.
 package noctest
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"fsoi/internal/noc"
 	"fsoi/internal/sim"
+	"fsoi/internal/sim/shard"
 )
 
 // Harness drives one noc.Network implementation through the
@@ -31,9 +35,13 @@ type Harness struct {
 	Name string
 	// Build constructs a fresh network over the engine. The RNG is the
 	// run's root; deterministic networks ignore it.
-	Build func(engine *sim.Engine, rng *sim.RNG) noc.Network
+	Build func(engine sim.Scheduler, rng *sim.RNG) noc.Network
 	// Nodes is the endpoint count packets are addressed within.
 	Nodes int
+	// Shards lists sharded-engine shard counts to replay the run at.
+	// Each must reproduce the serial transcript exactly — the sharded
+	// engine's whole contract. Nil checks the serial engine only.
+	Shards []int
 	// Ordered enables the per-(src,dst) in-order check.
 	Ordered bool
 	// Seed feeds both the network and the traffic pattern.
@@ -61,8 +69,9 @@ type transcript struct {
 	totalN     int64               // LatencyStats().Total.N()
 }
 
-// run executes one seeded traffic pattern against a fresh network.
-func (h Harness) run(t *testing.T) transcript {
+// run executes one seeded traffic pattern against a fresh network on
+// the serial engine (shards <= 1) or the exact sharded engine.
+func (h Harness) run(t *testing.T, shards int) transcript {
 	t.Helper()
 	packets := h.Packets
 	if packets == 0 {
@@ -72,8 +81,20 @@ func (h Harness) run(t *testing.T) transcript {
 	if drain == 0 {
 		drain = 200000
 	}
-	engine := sim.NewEngine()
+	var engine sim.Driver
+	if shards > 1 {
+		se := shard.New(shards)
+		se.AssignNodes(h.Nodes)
+		engine = se
+	} else {
+		engine = sim.NewEngine()
+	}
 	net := h.Build(engine, sim.NewRNG(h.Seed))
+	if la, ok := net.(noc.Lookaheader); ok {
+		if se, isShard := engine.(*shard.Engine); isShard {
+			se.SetLookahead(la.Lookahead())
+		}
+	}
 	tr := transcript{sendOrder: map[[2]int][]uint64{}}
 	net.SetDelivery(func(p *noc.Packet, now sim.Cycle) {
 		tr.deliveries = append(tr.deliveries, delivery{
@@ -125,13 +146,16 @@ func (h Harness) run(t *testing.T) transcript {
 func (h Harness) Run(t *testing.T) {
 	t.Helper()
 	t.Run(h.Name, func(t *testing.T) {
-		first := h.run(t)
+		first := h.run(t, 1)
 		h.checkExactlyOnce(t, first)
 		h.checkLatencyAccounting(t, first)
 		if h.Ordered {
 			h.checkInOrder(t, first)
 		}
 		h.checkReplay(t, first)
+		for _, k := range h.Shards {
+			h.checkShardInvariance(t, first, k)
+		}
 	})
 }
 
@@ -198,14 +222,29 @@ func (h Harness) checkInOrder(t *testing.T, tr transcript) {
 // transcript exactly.
 func (h Harness) checkReplay(t *testing.T, first transcript) {
 	t.Helper()
-	second := h.run(t)
+	second := h.run(t, 1)
+	h.compareTranscripts(t, "replay", first, second)
+}
+
+// checkShardInvariance verifies the same run on the exact sharded
+// engine at the given shard count reproduces the serial transcript.
+func (h Harness) checkShardInvariance(t *testing.T, first transcript, shards int) {
+	t.Helper()
+	sharded := h.run(t, shards)
+	h.compareTranscripts(t, fmt.Sprintf("%d-shard run", shards), first, sharded)
+}
+
+// compareTranscripts fails on the first delivery where two transcripts
+// of the same traffic pattern diverge.
+func (h Harness) compareTranscripts(t *testing.T, label string, first, second transcript) {
+	t.Helper()
 	if len(first.deliveries) != len(second.deliveries) {
-		t.Fatalf("replay delivered %d packets, first run %d", len(second.deliveries), len(first.deliveries))
+		t.Fatalf("%s delivered %d packets, first run %d", label, len(second.deliveries), len(first.deliveries))
 	}
 	for i := range first.deliveries {
 		if first.deliveries[i] != second.deliveries[i] {
-			t.Fatalf("replay diverges at delivery %d:\n first: %s\nsecond: %s",
-				i, fmtDelivery(first.deliveries[i]), fmtDelivery(second.deliveries[i]))
+			t.Fatalf("%s diverges at delivery %d:\n first: %s\nsecond: %s",
+				label, i, fmtDelivery(first.deliveries[i]), fmtDelivery(second.deliveries[i]))
 		}
 	}
 }

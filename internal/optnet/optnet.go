@@ -36,7 +36,7 @@ type Topology struct {
 	// Build constructs a fresh network over the engine. The RNG is the
 	// run's root; topologies that need randomness must derive named
 	// streams from it, and deterministic ones ignore it.
-	Build func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network
+	Build func(nodes int, engine sim.Scheduler, rng *sim.RNG) noc.Network
 	// Loss returns the analytic worst-case physical model at a node
 	// count (perfect squares only, matching the die floorplan).
 	Loss func(nodes int) optics.LossReport
@@ -76,7 +76,7 @@ func Names() []string {
 }
 
 // Build constructs a registered topology by name.
-func Build(name string, nodes int, engine *sim.Engine, rng *sim.RNG) (noc.Network, error) {
+func Build(name string, nodes int, engine sim.Scheduler, rng *sim.RNG) (noc.Network, error) {
 	t, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("optnet: unknown topology %q (have %v)", name, Names())

@@ -26,7 +26,7 @@ func init() {
 		Name:        "corona",
 		Description: "Corona-style MWSR token crossbar (§7.1 baseline)",
 		Ordered:     true,
-		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+		Build: func(nodes int, engine sim.Scheduler, rng *sim.RNG) noc.Network {
 			return corona.New(corona.PaperCorona(nodes), engine)
 		},
 		Loss: func(nodes int) optics.LossReport {
@@ -38,7 +38,7 @@ func init() {
 		Name:        "matrix",
 		Description: "matrix/λ-router WDM crossbar, fully non-blocking (arXiv:1512.07492)",
 		Ordered:     true,
-		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+		Build: func(nodes int, engine sim.Scheduler, rng *sim.RNG) noc.Network {
 			return corona.New(corona.MatrixCrossbar(nodes), engine)
 		},
 		Loss: func(nodes int) optics.LossReport {
@@ -50,7 +50,7 @@ func init() {
 		Name:        "snake",
 		Description: "snake/SWMR broadcast crossbar, source-serialized (arXiv:1512.07492)",
 		Ordered:     true,
-		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+		Build: func(nodes int, engine sim.Scheduler, rng *sim.RNG) noc.Network {
 			return corona.New(corona.SnakeCrossbar(nodes), engine)
 		},
 		Loss: func(nodes int) optics.LossReport {
@@ -62,7 +62,7 @@ func init() {
 		Name:        "fsoi",
 		Description: "beam-steered free-space interconnect (the paper's design)",
 		Ordered:     false,
-		Build: func(nodes int, engine *sim.Engine, rng *sim.RNG) noc.Network {
+		Build: func(nodes int, engine sim.Scheduler, rng *sim.RNG) noc.Network {
 			return core.New(core.PaperConfig(nodes), engine, rng)
 		},
 		Loss: func(nodes int) optics.LossReport {

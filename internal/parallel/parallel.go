@@ -132,3 +132,131 @@ func Map[T any](jobs, workers int, fn func(job int) T) []T {
 	})
 	return out
 }
+
+// Pool is a persistent worker pool for callers that fan out the same
+// shape of work many times in a row — the sharded simulation engine's
+// epoch barrier, which parallelizes shards thousands of times per run.
+// Do spawns and joins its workers per call, which is fine across
+// experiment jobs but far too heavy inside a simulation's epoch loop;
+// Pool keeps its goroutines parked on channels between Run calls.
+//
+// The determinism contract is Do's: jobs are independent, results merge
+// by index in the caller, and NewPool(workers <= 1) runs everything
+// serially on the calling goroutine — no goroutines exist at all, so a
+// one-worker pool IS serial execution, not an emulation of it.
+//
+// A Pool is owned by one goroutine: Run calls must not overlap.
+type Pool struct {
+	workers []chan *poolRun
+	done    chan struct{}
+}
+
+// poolRun is the shared state of one Run call: a handout counter and
+// the lowest-index panic, both guarded like Do's.
+type poolRun struct {
+	mu      sync.Mutex
+	next    int
+	jobs    int
+	fn      func(job int)
+	failure *PanicError
+}
+
+// take hands out the next job index, or -1 when none remain (or a
+// panic has been recorded and the run is doomed).
+func (r *poolRun) take() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failure != nil || r.next >= r.jobs {
+		return -1
+	}
+	i := r.next
+	r.next++
+	return i
+}
+
+// runOne executes one job, converting a panic into the run's failure.
+func (r *poolRun) runOne(job int) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.failure == nil || job < r.failure.Job {
+				r.failure = &PanicError{Job: job, Value: v}
+			}
+		}
+	}()
+	r.fn(job)
+}
+
+// NewPool parks `workers` goroutines waiting for Run calls. Values <= 1
+// return a serial pool with no goroutines. Callers release the
+// goroutines with Close when the pool's owner is done.
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	if workers <= 1 {
+		return p
+	}
+	p.done = make(chan struct{})
+	p.workers = make([]chan *poolRun, workers)
+	for i := range p.workers {
+		c := make(chan *poolRun)
+		p.workers[i] = c
+		go func() {
+			for r := range c {
+				for {
+					job := r.take()
+					if job < 0 {
+						break
+					}
+					r.runOne(job)
+				}
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// Run executes fn(0)..fn(jobs-1) across the pool's workers and returns
+// when all have finished — a barrier, exactly like Do, but without
+// spawning. A serial pool (or a single job) runs on the calling
+// goroutine. Panics propagate as *PanicError for the lowest panicking
+// job index; serial mode propagates the original value unwrapped.
+func (p *Pool) Run(jobs int, fn func(job int)) {
+	if jobs <= 0 {
+		return
+	}
+	if len(p.workers) == 0 || jobs == 1 {
+		for i := 0; i < jobs; i++ {
+			fn(i)
+		}
+		return
+	}
+	r := &poolRun{jobs: jobs, fn: fn}
+	for _, c := range p.workers {
+		c <- r
+	}
+	for range p.workers {
+		<-p.done
+	}
+	if r.failure != nil {
+		panic(r.failure)
+	}
+}
+
+// Workers reports the pool's parallelism (1 for a serial pool).
+func (p *Pool) Workers() int {
+	if len(p.workers) == 0 {
+		return 1
+	}
+	return len(p.workers)
+}
+
+// Close releases the pool's goroutines. The pool must not be used
+// afterwards. Closing a serial pool is a no-op.
+func (p *Pool) Close() {
+	for _, c := range p.workers {
+		close(c)
+	}
+	p.workers = nil
+}

@@ -91,6 +91,46 @@ func (q *eventQueue) pop() event {
 	return top
 }
 
+// Scheduler is the scheduling surface simulation components program
+// against: the current cycle, timed callbacks, per-cycle tickers, and
+// the stop request. Both the serial Engine and the sharded engine
+// (internal/sim/shard) implement it, so every component runs unchanged
+// under either.
+type Scheduler interface {
+	Now() Cycle
+	At(at Cycle, fn func(now Cycle))
+	After(delay Cycle, fn func(now Cycle))
+	Register(t Ticker)
+	Stop()
+	Stopped() bool
+}
+
+// Driver extends Scheduler with the run loop and the engine counters —
+// the surface the system layer and the command-line tools need to drive
+// a whole simulation.
+type Driver interface {
+	Scheduler
+	Step()
+	Run(maxCycles Cycle) Cycle
+	Pending() int
+	EventsFired() uint64
+	MaxQueueDepth() int
+}
+
+// Sharder is optionally implemented by engines that partition
+// components into node-group shards. Networks use it to hand a packet's
+// delivery (or confirmation) event to the destination node's shard;
+// on the serial engine the assertion fails and callers fall back to a
+// plain At. The contract: a cross-shard handoff must land at least the
+// engine's declared lookahead in the future, so that shards can advance
+// through a lookahead-sized epoch without observing each other.
+type Sharder interface {
+	// NodeShard maps a node index to its shard.
+	NodeShard(node int) int
+	// Handoff schedules fn on the given shard's queue.
+	Handoff(shard int, at Cycle, fn func(now Cycle))
+}
+
 // Engine drives a cycle-accurate simulation: every registered Ticker runs
 // once per cycle, and timed events fire at the start of their cycle,
 // before tickers. The zero value is not usable; construct with NewEngine.
@@ -108,6 +148,9 @@ type Engine struct {
 func NewEngine() *Engine {
 	return &Engine{}
 }
+
+// Engine is the reference Driver implementation.
+var _ Driver = (*Engine)(nil)
 
 // Now reports the current cycle.
 func (e *Engine) Now() Cycle { return e.now }

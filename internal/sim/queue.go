@@ -1,0 +1,34 @@
+package sim
+
+// Queue exposes the engine's slab-backed 4-ary event heap to the
+// sharded engine (internal/sim/shard), which keeps one per shard. The
+// (at, seq) pair orders pops totally; callers own seq assignment, which
+// is what lets the sharded engine preserve the serial engine's global
+// schedule order across many queues.
+type Queue struct {
+	q eventQueue
+}
+
+// Push inserts a callback ordered by (at, seq).
+func (q *Queue) Push(at Cycle, seq uint64, fn func(now Cycle)) {
+	q.q.push(event{at: at, seq: seq, fn: fn})
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.q.a) }
+
+// Top reports the minimum (at, seq) without popping; ok is false on an
+// empty queue.
+func (q *Queue) Top() (at Cycle, seq uint64, ok bool) {
+	if len(q.q.a) == 0 {
+		return 0, 0, false
+	}
+	return q.q.a[0].at, q.q.a[0].seq, true
+}
+
+// Pop removes and returns the minimum event's callback. It panics on an
+// empty queue; callers gate on Len or Top.
+func (q *Queue) Pop() (at Cycle, fn func(now Cycle)) {
+	e := q.q.pop()
+	return e.at, e.fn
+}

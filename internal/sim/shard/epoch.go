@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"fsoi/internal/parallel"
+	"fsoi/internal/sim"
+)
+
+// Program is one shard of an epoch-parallel simulation: a share-nothing
+// state machine advanced cycle by cycle, interacting with other shards
+// (and with itself — see Epochs) only through posted messages.
+//
+// Within a cycle the engine first delivers every message due that
+// cycle via Recv, in canonical (at, key) order, then calls Cycle once.
+type Program interface {
+	Recv(now sim.Cycle, key uint64, data any)
+	Cycle(now sim.Cycle)
+}
+
+// message is a cross-shard payload pinned to a delivery cycle. The
+// canonical order is (at, key, src, seq); for shard-count invariance a
+// model must make (at, key) unique on its own — src is a *shard* index
+// and seq a per-shard counter, so both vary with the partitioning and
+// must never be the deciding comparison.
+type message struct {
+	at   sim.Cycle
+	key  uint64
+	src  int
+	seq  uint64
+	to   int
+	data any
+}
+
+// Epochs advances K shard Programs in lockstepped epochs one lookahead
+// window long. Within an epoch the shards run concurrently on a
+// parallel.Pool with no shared state; at the epoch barrier the engine
+// collects every posted message into the destination shards' inboxes,
+// sorted canonically, and only then opens the next epoch. Because a
+// post must land at least one lookahead past the sender's epoch start,
+// no shard can ever need a message from an epoch that is still running
+// — that is the whole correctness argument, and Post enforces it.
+//
+// Determinism has two layers. Worker-count invariance is structural:
+// shards touch only their own state and outbox, and the barrier merge
+// sorts, so the pool's interleaving is invisible. Shard-count
+// invariance is a model contract: per-node (not per-shard) RNG
+// streams, integer-only stats, and *every* node-to-node interaction
+// posted as a message — including same-shard ones — with a key that
+// totally orders same-cycle deliveries. Under that contract the
+// message sequence a node observes is identical at any shard count;
+// internal/bigsim is written to it and tested for it.
+type Epochs struct {
+	progs     []Program
+	lookahead sim.Cycle
+	pool      *parallel.Pool
+	now       sim.Cycle
+	sendFloor sim.Cycle
+	outbox    [][]message
+	inbox     [][]message
+	seq       []uint64
+	posted    uint64
+}
+
+// NewEpochs builds an epoch engine over the given shard programs.
+// lookahead is the epoch length: the minimum lead time every posted
+// message must honour. The pool is borrowed, not owned — one pool
+// serves many runs (and closing it remains the caller's job).
+func NewEpochs(progs []Program, lookahead sim.Cycle, pool *parallel.Pool) *Epochs {
+	if len(progs) == 0 {
+		panic("shard: epoch engine needs at least one program")
+	}
+	if lookahead < 1 {
+		panic("shard: lookahead must be at least one cycle")
+	}
+	return &Epochs{
+		progs:     progs,
+		lookahead: lookahead,
+		pool:      pool,
+		outbox:    make([][]message, len(progs)),
+		inbox:     make([][]message, len(progs)),
+		seq:       make([]uint64, len(progs)),
+	}
+}
+
+// Now reports the current epoch floor (the cycle the next epoch starts
+// at). Shard programs learn in-epoch time from their Cycle calls.
+func (e *Epochs) Now() sim.Cycle { return e.now }
+
+// Posted reports how many messages have been posted over the run.
+func (e *Epochs) Posted() uint64 { return e.posted }
+
+// Post sends a message from shard `from` to shard `to`, delivered at
+// cycle at. It must be called only by shard from's Program while that
+// program is running (each shard owns its outbox exclusively — that is
+// what makes Post safe without locks). at must be at least one
+// lookahead past the sender's epoch start; violating that would ask
+// for delivery inside an epoch that is already executing, so it
+// panics rather than silently skewing results.
+func (e *Epochs) Post(from, to int, at sim.Cycle, key uint64, data any) {
+	if at < e.sendFloor {
+		panic(fmt.Sprintf("shard: post at cycle %d is under the lookahead floor %d (lookahead %d)",
+			at, e.sendFloor, e.lookahead))
+	}
+	e.seq[from]++
+	e.outbox[from] = append(e.outbox[from], message{
+		at: at, key: key, src: from, seq: e.seq[from], to: to, data: data,
+	})
+}
+
+// Run advances the simulation by cycles. Epochs are one lookahead long
+// (the final one is clamped to the requested horizon); each runs all
+// shard programs on the pool, then merges outboxes at the barrier.
+func (e *Epochs) Run(cycles sim.Cycle) {
+	end := e.now + cycles
+	for e.now < end {
+		stop := e.now + e.lookahead
+		if stop > end {
+			stop = end
+		}
+		start := e.now
+		e.sendFloor = e.now + e.lookahead
+		e.pool.Run(len(e.progs), func(s int) {
+			p := e.progs[s]
+			in := e.inbox[s]
+			i := 0
+			for c := start; c < stop; c++ {
+				for i < len(in) && in[i].at <= c {
+					p.Recv(c, in[i].key, in[i].data)
+					i++
+				}
+				p.Cycle(c)
+			}
+			e.inbox[s] = in[i:]
+		})
+		e.merge()
+		e.now = stop
+	}
+}
+
+// merge is the epoch barrier's sequential half: route every outbox
+// message to its destination inbox and restore canonical order. The
+// sort comparator ends on (src, seq) only to stay total; models keep
+// (at, key) unique so the partition-dependent fields never decide.
+func (e *Epochs) merge() {
+	for from := range e.outbox {
+		for _, m := range e.outbox[from] {
+			e.inbox[m.to] = append(e.inbox[m.to], m)
+			e.posted++
+		}
+		e.outbox[from] = e.outbox[from][:0]
+	}
+	for s := range e.inbox {
+		in := e.inbox[s]
+		sort.Slice(in, func(i, j int) bool {
+			if in[i].at != in[j].at {
+				return in[i].at < in[j].at
+			}
+			if in[i].key != in[j].key {
+				return in[i].key < in[j].key
+			}
+			if in[i].src != in[j].src {
+				return in[i].src < in[j].src
+			}
+			return in[i].seq < in[j].seq
+		})
+	}
+}

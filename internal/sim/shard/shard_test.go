@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"fsoi/internal/parallel"
+	"fsoi/internal/sim"
+)
+
+// chaosWorkload drives a Driver with a randomized but deterministic
+// event storm: tickers that schedule events, events that schedule more
+// events (including zero-delay follow-ups and Handoff when available),
+// and a mid-run Stop. Every observable action appends a line to trace,
+// so two engines executed this way can be compared action for action.
+func chaosWorkload(eng sim.Driver, seed uint64, trace *[]string) {
+	rng := sim.NewRNG(seed).NewStream("chaos")
+	// handoff mirrors noc.ScheduleAt: route to the node's shard when the
+	// engine shards, plain At otherwise. The RNG draws are identical on
+	// both paths, so the serial and sharded runs see the same workload.
+	handoff := func(node int, at sim.Cycle, fn func(now sim.Cycle)) {
+		if s, ok := eng.(sim.Sharder); ok {
+			s.Handoff(s.NodeShard(node), at, fn)
+			return
+		}
+		eng.At(at, fn)
+	}
+	var schedule func(depth int, id string) func(now sim.Cycle)
+	schedule = func(depth int, id string) func(now sim.Cycle) {
+		return func(now sim.Cycle) {
+			*trace = append(*trace, fmt.Sprintf("%d event %s draw=%d", now, id, rng.Intn(1000)))
+			if depth >= 3 {
+				return
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				child := fmt.Sprintf("%s.%d", id, i)
+				delay := sim.Cycle(rng.Intn(5))
+				if rng.Bool(0.4) {
+					handoff(rng.Intn(8), now+2+delay, schedule(depth+1, child))
+				} else {
+					eng.After(delay, schedule(depth+1, child))
+				}
+			}
+		}
+	}
+	for t := 0; t < 3; t++ {
+		tid := t
+		eng.Register(sim.TickFunc(func(now sim.Cycle) {
+			if rng.Bool(0.3) {
+				*trace = append(*trace, fmt.Sprintf("%d tick %d", now, tid))
+				eng.After(sim.Cycle(1+rng.Intn(4)), schedule(0, fmt.Sprintf("t%d@%d", tid, now)))
+			}
+			if now == 200 && tid == 1 {
+				eng.Stop()
+			}
+		}))
+	}
+	eng.At(0, schedule(0, "root"))
+}
+
+// TestExactEngineMatchesSerial is the kernel-level byte-identity proof:
+// the same randomized workload executes the same action sequence on the
+// serial engine and on the exact sharded engine at several shard
+// counts. Because the workload interleaves RNG draws with execution,
+// any divergence in event order diverges the trace immediately.
+func TestExactEngineMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 777} {
+		seed := seed
+		var want []string
+		ref := sim.NewEngine()
+		chaosWorkload(ref, seed, &want)
+		refCycles := ref.Run(500)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty reference trace", seed)
+		}
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			var got []string
+			e := New(k)
+			e.AssignNodes(8)
+			e.SetLookahead(2)
+			chaosWorkload(e, seed, &got)
+			gotCycles := e.Run(500)
+			if gotCycles != refCycles {
+				t.Errorf("seed %d shards %d: ran %d cycles, serial ran %d", seed, k, gotCycles, refCycles)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d shards %d: %d actions vs serial %d", seed, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d shards %d: first divergence at action %d:\n  serial:  %s\n  sharded: %s",
+						seed, k, i, want[i], got[i])
+				}
+			}
+			if e.EventsFired() != ref.EventsFired() {
+				t.Errorf("seed %d shards %d: fired %d events, serial fired %d",
+					seed, k, e.EventsFired(), ref.EventsFired())
+			}
+		}
+	}
+}
+
+// TestHandoffMetering checks the cursor and the lookahead meter: a
+// handoff to another shard counts once, one closer than the declared
+// window additionally trips UnderLookahead, and same-shard handoffs
+// count as neither.
+func TestHandoffMetering(t *testing.T) {
+	e := New(4)
+	e.AssignNodes(8)
+	e.SetLookahead(2)
+	nop := func(now sim.Cycle) {}
+	e.SetShard(0)
+	e.Handoff(0, 0, nop) // same-shard: not a handoff
+	e.Handoff(1, 2, nop) // cross-shard, at lookahead: clean
+	e.Handoff(2, 1, nop) // cross-shard, under lookahead
+	if e.Handoffs() != 2 {
+		t.Errorf("Handoffs() = %d, want 2", e.Handoffs())
+	}
+	if e.UnderLookahead() != 1 {
+		t.Errorf("UnderLookahead() = %d, want 1", e.UnderLookahead())
+	}
+	if e.Pending() != 3 {
+		t.Errorf("Pending() = %d, want 3", e.Pending())
+	}
+	// Contiguous node assignment: 8 nodes over 4 shards is pairs.
+	for node, want := range []int{0, 0, 1, 1, 2, 2, 3, 3} {
+		if got := e.NodeShard(node); got != want {
+			t.Errorf("NodeShard(%d) = %d, want %d", node, got, want)
+		}
+	}
+	if e.NodeShard(-1) != 0 || e.NodeShard(99) != 0 {
+		t.Error("out-of-range nodes should map to shard 0")
+	}
+}
+
+// counterProg is a minimal epoch Program: a ring of nodes where each
+// node, once per cycle with per-node RNG probability, posts a token to
+// a drawn destination node; tokens bounce until their hop budget runs
+// out. All state is per-node and integer, all interaction goes through
+// Post (same-shard included), keys encode (dstNode, srcNode), so the
+// result must be invariant across shard and worker counts.
+type counterProg struct {
+	e        *Epochs
+	shard    int
+	nodes    []int // global node ids owned by this shard
+	owner    []int // node -> shard (shared read-only)
+	rng      []*sim.RNG
+	received []int64 // per local node
+	hops     int64
+}
+
+func (p *counterProg) Recv(now sim.Cycle, key uint64, data any) {
+	dst := int(key >> 32)
+	local := dst - p.nodes[0]
+	p.received[local]++
+	p.hops++
+	budget := data.(int)
+	if budget <= 0 {
+		return
+	}
+	next := p.rng[local].Intn(len(p.owner))
+	p.e.Post(p.shard, p.owner[next], now+2, uint64(next)<<32|uint64(dst), budget-1)
+}
+
+func (p *counterProg) Cycle(now sim.Cycle) {
+	for i, node := range p.nodes {
+		if p.rng[i].Bool(0.1) {
+			dst := p.rng[i].Intn(len(p.owner))
+			p.e.Post(p.shard, p.owner[dst], now+2, uint64(dst)<<32|uint64(node), 3)
+		}
+	}
+}
+
+// runCounterModel builds the token-ring model at a shard and worker
+// count and returns its per-node receive counts plus total hops.
+func runCounterModel(t *testing.T, nodes, shards, workers int, cycles sim.Cycle) ([]int64, int64) {
+	t.Helper()
+	owner := make([]int, nodes)
+	for i := range owner {
+		owner[i] = i * shards / nodes
+	}
+	root := sim.NewRNG(99)
+	progs := make([]Program, shards)
+	cps := make([]*counterProg, shards)
+	for s := range progs {
+		cps[s] = &counterProg{shard: s, owner: owner}
+		progs[s] = cps[s]
+	}
+	for node := range owner {
+		cp := cps[owner[node]]
+		cp.nodes = append(cp.nodes, node)
+		cp.rng = append(cp.rng, root.NewStream(fmt.Sprintf("node-%d", node)))
+		cp.received = append(cp.received, 0)
+	}
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	e := NewEpochs(progs, 2, pool)
+	for s := range cps {
+		cps[s].e = e
+	}
+	e.Run(cycles)
+	out := make([]int64, nodes)
+	var hops int64
+	for _, cp := range cps {
+		for i, node := range cp.nodes {
+			out[node] = cp.received[i]
+		}
+		hops += cp.hops
+	}
+	if e.Posted() == 0 {
+		t.Fatal("model posted no messages — test is vacuous")
+	}
+	return out, hops
+}
+
+// TestEpochInvariance runs the same message-passing model at shard
+// counts 1/2/4/8 and worker counts 1/2/4 and requires identical
+// per-node results: the epoch engine's shard- and worker-count
+// invariance contract, end to end.
+func TestEpochInvariance(t *testing.T) {
+	const nodes, cycles = 16, 400
+	want, wantHops := runCounterModel(t, nodes, 1, 1, cycles)
+	if wantHops == 0 {
+		t.Fatal("no hops in reference run")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 2, 4} {
+			got, hops := runCounterModel(t, nodes, shards, workers, cycles)
+			if hops != wantHops {
+				t.Errorf("shards=%d workers=%d: %d hops, want %d", shards, workers, hops, wantHops)
+			}
+			for n := range want {
+				if got[n] != want[n] {
+					t.Fatalf("shards=%d workers=%d: node %d received %d, want %d",
+						shards, workers, n, got[n], want[n])
+				}
+			}
+		}
+	}
+}
+
+// TestPostUnderLookaheadPanics pins the epoch engine's guard: a post
+// closer than the lookahead floor must panic, not skew results.
+func TestPostUnderLookaheadPanics(t *testing.T) {
+	pool := parallel.NewPool(1)
+	defer pool.Close()
+	bad := &badProg{}
+	e := NewEpochs([]Program{bad}, 4, pool)
+	bad.e = e
+	defer func() {
+		if recover() == nil {
+			t.Fatal("under-lookahead Post did not panic")
+		}
+	}()
+	e.Run(8)
+}
+
+type badProg struct{ e *Epochs }
+
+func (p *badProg) Recv(now sim.Cycle, key uint64, data any) {}
+func (p *badProg) Cycle(now sim.Cycle) {
+	if now == 5 {
+		p.e.Post(0, 0, now+1, 0, nil) // floor is epoch start + 4
+	}
+}
+
+// TestPoolReuse exercises parallel.Pool directly: many Run calls on
+// one pool, panic propagation, and serial-pool semantics.
+func TestPoolReuse(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	for round := 0; round < 50; round++ {
+		out := make([]int, 37)
+		pool.Run(len(out), func(i int) { out[i] = i * round })
+		for i, v := range out {
+			if v != i*round {
+				t.Fatalf("round %d: out[%d] = %d", round, i, v)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			pe, ok := recover().(*parallel.PanicError)
+			if !ok {
+				t.Fatal("pool panic did not propagate as *PanicError")
+			}
+			if pe.Job != 3 {
+				t.Errorf("PanicError.Job = %d, want lowest panicking index 3", pe.Job)
+			}
+		}()
+		pool.Run(8, func(i int) {
+			if i >= 3 {
+				panic("boom")
+			}
+		})
+	}()
+	// The pool must still be usable after a panicking run.
+	sum := make([]int, 8)
+	pool.Run(8, func(i int) { sum[i] = 1 })
+	serial := parallel.NewPool(1)
+	if serial.Workers() != 1 {
+		t.Errorf("serial pool Workers() = %d", serial.Workers())
+	}
+	serial.Run(4, func(i int) { sum[i]++ })
+	serial.Close()
+}

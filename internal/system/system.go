@@ -20,6 +20,7 @@ import (
 	"fsoi/internal/optnet"
 	"fsoi/internal/power"
 	"fsoi/internal/sim"
+	"fsoi/internal/sim/shard"
 	"fsoi/internal/stats"
 	"fsoi/internal/workload"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	Power     power.Params
 	Seed      uint64
 	MaxCycles sim.Cycle
+	// Shards, when > 1, runs the simulation on the exact sharded engine
+	// (internal/sim/shard): per-node-group event queues popped in the
+	// serial engine's global (cycle, seq) order, so metrics and traces
+	// stay byte-identical to Shards <= 1 at any shard count. Components
+	// register on their node's home shard and networks hand cross-node
+	// events to the owning shard inside the topology's declared
+	// lookahead discipline, which the engine meters.
+	Shards int
 	// ForceCoherentSync disables the §5.1 confirmation-channel sync path
 	// even when the network supports it (for the ll/sc ablation).
 	ForceCoherentSync bool
@@ -191,7 +200,8 @@ func (m Metrics) Speedup(baseline Metrics) float64 {
 // System is one assembled CMP.
 type System struct {
 	cfg      Config
-	engine   *sim.Engine
+	engine   sim.Driver
+	shardEng *shard.Engine // non-nil when cfg.Shards > 1
 	rng      *sim.RNG
 	net      noc.Network
 	fsoi     *core.Network
@@ -314,14 +324,27 @@ func New(cfg Config) *System {
 	}
 	s := &System{
 		cfg:         cfg,
-		engine:      sim.NewEngine(),
 		rng:         sim.NewRNG(cfg.Seed),
 		mems:        make(map[int]*memory.Controller),
 		ordInFlight: make(map[orderKey]bool),
 		ordQueue:    make(map[orderKey][]coherence.Msg),
 	}
+	if cfg.Shards > 1 {
+		s.shardEng = shard.New(cfg.Shards)
+		s.shardEng.AssignNodes(cfg.Nodes)
+		s.engine = s.shardEng
+	} else {
+		s.engine = sim.NewEngine()
+	}
 	dim := meshDim(cfg.Nodes)
 	tr := transport{s}
+	// onShard brackets a node's component construction so tickers and
+	// initial events register on the node's home shard; a no-op serially.
+	onShard := func(node int) {
+		if s.shardEng != nil {
+			s.shardEng.SetShard(s.shardEng.NodeShard(node))
+		}
+	}
 
 	switch cfg.Net {
 	case NetFSOI:
@@ -361,13 +384,22 @@ func New(cfg Config) *System {
 	default:
 		panic("system: unknown network kind")
 	}
+	// The network is a global component; it ticks on shard 0 and hands
+	// per-node events to their owning shards through noc.ScheduleAt. Its
+	// declared lookahead sizes the engine's cross-shard window.
 	s.engine.Register(sim.TickFunc(s.net.Tick))
+	if s.shardEng != nil {
+		if la, ok := s.net.(noc.Lookaheader); ok {
+			s.shardEng.SetLookahead(la.Lookahead())
+		}
+	}
 
 	home := func(a cache.LineAddr) int { return int(uint64(a) % uint64(cfg.Nodes)) }
 	attach := memory.AttachNodes(dim, cfg.Memory.Channels)
 	memNode := func(h int) int { return attach[h%cfg.Memory.Channels] }
 
 	for i := 0; i < cfg.Nodes; i++ {
+		onShard(i)
 		l1 := coherence.NewL1(i, cfg.L1, s.engine, s.rng.NewStream(fmt.Sprintf("l1-%d", i)), tr, home)
 		s.l1s = append(s.l1s, l1)
 		s.engine.Register(l1)
@@ -380,6 +412,7 @@ func New(cfg Config) *System {
 		if _, dup := s.mems[node]; dup {
 			continue
 		}
+		onShard(node)
 		ctl := memory.NewController(node, cfg.Memory, s.engine, func(m coherence.Msg) {
 			if !tr.Send(m) {
 				// Memory replies retry through the engine until the NIC
@@ -388,6 +421,9 @@ func New(cfg Config) *System {
 			}
 		})
 		s.mems[node] = ctl
+	}
+	if s.shardEng != nil {
+		s.shardEng.SetShard(0)
 	}
 
 	if cfg.TracePackets > 0 {
@@ -573,6 +609,9 @@ func (s *System) Run(app workload.App) Metrics {
 	s.sync.setBarrierTarget(0, s.cfg.Nodes)
 
 	for i := 0; i < s.cfg.Nodes; i++ {
+		if s.shardEng != nil {
+			s.shardEng.SetShard(s.shardEng.NodeShard(i))
+		}
 		stream := workload.NewStream(app, i, s.cfg.Nodes, s.cfg.Seed)
 		c := cpu.New(i, s.cfg.Core, s.engine, s.l1s[i], stream, s.sync, func(core int, at sim.Cycle) {
 			s.finished++
@@ -582,6 +621,9 @@ func (s *System) Run(app workload.App) Metrics {
 		})
 		s.cores = append(s.cores, c)
 		c.Start()
+	}
+	if s.shardEng != nil {
+		s.shardEng.SetShard(0)
 	}
 	s.engine.Run(s.cfg.MaxCycles)
 	return s.collect(app.Name)
@@ -705,8 +747,12 @@ func (s *System) Diagnose() string {
 	return out
 }
 
-// Engine exposes the simulation engine (tests).
-func (s *System) Engine() *sim.Engine { return s.engine }
+// Engine exposes the simulation engine (tests, fsoisim -profile).
+func (s *System) Engine() sim.Driver { return s.engine }
+
+// ShardEngine exposes the exact sharded engine when Config.Shards > 1
+// selected it, for the handoff/lookahead meters; nil serially.
+func (s *System) ShardEngine() *shard.Engine { return s.shardEng }
 
 // L1 exposes a node's L1 controller (tests).
 func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
