@@ -1,9 +1,10 @@
 // Command benchtrend snapshots the repository's performance trajectory.
-// Each invocation measures the engine hot path with testing.Benchmark
-// and times a representative slice of the experiment registry at bench
-// scale, then writes BENCH_<n>.json next to the previous snapshots so
-// the ns/op, allocs/op, and wall-clock history is machine-readable
-// across PRs.
+// Each invocation measures the engine hot path with testing.Benchmark,
+// times a representative slice of the experiment registry at bench
+// scale, and times one fsoilint pass over the module (load and
+// analysis separately), then writes BENCH_<n>.json next to the
+// previous snapshots so the ns/op, allocs/op, and wall-clock history
+// is machine-readable across PRs.
 //
 // Usage:
 //
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"fsoi/internal/exp"
+	"fsoi/internal/lint"
 	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
 )
@@ -48,6 +50,16 @@ type expBench struct {
 	Values      map[string]float64 `json:"values"`
 }
 
+// lintBench times one in-process fsoilint run over the whole module:
+// load (parse + type-check, parallel parse pre-pass) and analysis
+// (RunWorkers) separately, since they scale differently with -j.
+type lintBench struct {
+	LoadSeconds float64 `json:"load_seconds"`
+	RunSeconds  float64 `json:"run_seconds"`
+	Packages    int     `json:"packages"`
+	Findings    int     `json:"findings"`
+}
+
 // snapshot is the schema of one BENCH_<n>.json file. Map keys marshal
 // sorted, so diffs between snapshots stay stable.
 type snapshot struct {
@@ -57,6 +69,9 @@ type snapshot struct {
 	Workers     int                    `json:"workers"`
 	Engine      map[string]engineBench `json:"engine"`
 	Experiments map[string]expBench    `json:"experiments"`
+	// Lint is absent from snapshots predating the static-analysis
+	// suite; omitempty keeps old BENCH_<n>.json files comparable.
+	Lint *lintBench `json:"lint,omitempty"`
 }
 
 // benchSchedule mirrors BenchmarkEngineSchedule in internal/sim: a
@@ -176,6 +191,13 @@ func main() {
 		}
 	}
 
+	lb, err := timeLint(snap.Workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: lint timing: %v\n", err)
+		os.Exit(1)
+	}
+	snap.Lint = lb
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
@@ -188,6 +210,36 @@ func main() {
 	}
 	fmt.Printf("wrote %s (engine schedule %.1f ns/op, %d allocs/op)\n",
 		path, snap.Engine["schedule"].NsPerOp, snap.Engine["schedule"].AllocsPerOp)
+	fmt.Printf("fsoilint: %d packages loaded in %.2fs, analyzed in %.3fs (%d findings, %d workers)\n",
+		lb.Packages, lb.LoadSeconds, lb.RunSeconds, lb.Findings, snap.Workers)
+}
+
+// timeLint measures one fsoilint pass over the module the snapshot is
+// taken in: it walks up from the cwd to the enclosing go.mod like the
+// fsoilint binary does.
+func timeLint(workers int) (*lintBench, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		return nil, err
+	}
+	loader.Jobs = workers
+	start := time.Now()
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	loaded := time.Now()
+	findings := lint.RunWorkers(pkgs, lint.Analyzers(), workers)
+	return &lintBench{
+		LoadSeconds: loaded.Sub(start).Seconds(),
+		RunSeconds:  time.Since(loaded).Seconds(),
+		Packages:    len(pkgs),
+		Findings:    len(findings),
+	}, nil
 }
 
 // checkEngine is the CI regression gate: it re-measures the engine hot

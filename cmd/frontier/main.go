@@ -76,7 +76,7 @@ func main() {
 	chart := stats.NewBarChart(fmt.Sprintf("\nworst-case insertion loss @ %d nodes (dB)", top), 40)
 	for _, name := range names {
 		topo, _ := optnet.Get(name)
-		chart.Add(name, topo.Loss(top).WorstCaseDB)
+		chart.Add(name, float64(topo.Loss(top).WorstCaseDB))
 	}
 	fmt.Print(chart.String())
 

@@ -6,13 +6,22 @@
 //	fsoilint ./...                 # whole module
 //	fsoilint ./internal/core       # one package
 //	fsoilint -json ./...           # machine-readable output for CI
+//	fsoilint -sarif out.sarif ./...# SARIF 2.1.0 for code-scanning upload
+//	fsoilint -j 8 ./...            # parallel package loading/analysis
 //	fsoilint -list                 # describe the analyzers
 //
 // Suppress a finding on one line with a mandatory justification:
 //
 //	total := a + b //lint:allow floateq comparing against an exact sentinel
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// Suppressions are budgeted: .lint-budget.json at the module root
+// entitles each (analyzer, file) pair to a count and records when it
+// was granted. `-budget .lint-budget.json` fails on any growth;
+// `-writebudget .lint-budget.json` regenerates the file (preserving
+// grant dates) after a reviewed change to the suppression set.
+//
+// Exit status: 0 clean, 1 findings or budget violations, 2 usage or
+// load failure.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fsoi/internal/lint"
 )
@@ -29,11 +39,15 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	budgetPath := flag.String("budget", "", "check //lint:allow counts against this committed budget file")
+	writeBudget := flag.String("writebudget", "", "regenerate this budget file from the current suppressions and exit")
+	jobs := flag.Int("j", 1, "worker count for package loading and analysis (order-independent output)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
@@ -51,6 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loader.Jobs = *jobs
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		fatal(err)
@@ -66,7 +81,22 @@ func main() {
 		fatal(fmt.Errorf("fsoilint: no packages match %v", patterns))
 	}
 
-	findings := lint.Run(selected, lint.Analyzers())
+	analyzers := lint.Analyzers()
+	findings := lint.RunWorkers(selected, analyzers, *jobs)
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.WriteSARIF(f, findings, analyzers, loader.Root); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut {
 		if findings == nil {
 			findings = []lint.Finding{} // emit [] rather than null for consumers
@@ -84,9 +114,72 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fsoilint: %d finding(s)\n", len(findings))
 		}
 	}
-	if len(findings) > 0 {
+
+	failed := len(findings) > 0
+
+	if *writeBudget != "" {
+		if err := regenerateBudget(*writeBudget, selected, analyzers, loader.Root); err != nil {
+			fatal(err)
+		}
+	} else if *budgetPath != "" {
+		ok, err := checkBudget(*budgetPath, selected, analyzers, loader.Root)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkBudget enforces the suppression ratchet: every //lint:allow in
+// the selected packages must fit inside the committed entitlement.
+func checkBudget(path string, pkgs []*lint.Package, analyzers []lint.Analyzer, root string) (ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("fsoilint: reading budget: %w", err)
+	}
+	budget, err := lint.ParseBudget(data)
+	if err != nil {
+		return false, err
+	}
+	sups := lint.Suppressions(pkgs, analyzers)
+	violations, notes := lint.CheckBudget(budget, sups, root)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "fsoilint: budget: %s\n", v)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "fsoilint: budget note: %s\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "fsoilint: budget: %d suppression(s) across %d budgeted key(s)\n",
+		len(sups), len(budget.Entries))
+	return len(violations) == 0, nil
+}
+
+// regenerateBudget rewrites the budget file from the current
+// suppression set, preserving the grant date of keys that survive.
+func regenerateBudget(path string, pkgs []*lint.Package, analyzers []lint.Analyzer, root string) error {
+	prev := lint.Budget{}
+	if data, err := os.ReadFile(path); err == nil {
+		if prev, err = lint.ParseBudget(data); err != nil {
+			return err
+		}
+	}
+	sups := lint.Suppressions(pkgs, analyzers)
+	today := time.Now().UTC().Format("2006-01-02")
+	out, err := lint.MarshalBudget(lint.MakeBudget(sups, prev, root, today))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fsoilint: wrote %s (%d suppression(s))\n", path, len(sups))
+	return nil
 }
 
 // matchesAny reports whether package p matches one of the argument

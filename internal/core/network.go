@@ -309,7 +309,7 @@ func (n *Network) schedulePacket(ns *nodeState, p *noc.Packet, lane Lane) {
 			hold += sim.Cycle(dataSlot)
 		}
 		ns.reserved[slot]++
-		n.expireReservation(ns, slot)
+		n.expireReservation(p.Src, ns, slot)
 		if hold > 0 {
 			ns.notBefore[p] = now + hold
 			n.stats.ScheduledHolds++
@@ -327,20 +327,23 @@ func (n *Network) schedulePacket(ns *nodeState, p *noc.Packet, lane Lane) {
 			hold += sim.Cycle(dataSlot)
 		}
 		home.reserved[slot]++
-		n.expireReservation(home, slot)
+		n.expireReservation(p.Dst, home, slot)
 		ns.notBefore[p] = now + hold
 		n.stats.ScheduledHolds++
 	}
 }
 
 // expireReservation drops a reservation shortly after its slot passes.
-func (n *Network) expireReservation(ns *nodeState, slot int64) {
+// ns can be any node's receiver state — the writeback split reserves at
+// the *home* node — so the expiry must fire on the shard owning that
+// node, not on whichever shard ran the sender.
+func (n *Network) expireReservation(node int, ns *nodeState, slot int64) {
 	dataSlot := int64(n.cfg.SlotCycles(LaneData))
 	end := sim.Cycle((slot + 2) * dataSlot)
 	if end <= n.engine.Now() {
 		end = n.engine.Now() + 1
 	}
-	n.engine.At(end, func(sim.Cycle) {
+	noc.ScheduleAt(n.engine, node, end, func(sim.Cycle) {
 		if ns.reserved[slot] > 0 {
 			ns.reserved[slot]--
 			if ns.reserved[slot] == 0 {

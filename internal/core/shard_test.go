@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"fsoi/internal/noc"
+	"fsoi/internal/sim"
+	"fsoi/internal/sim/shard"
+)
+
+// TestWritebackReservationExpiresOnHomeShard is the regression test for
+// the expireReservation hazard fsoilint's shardsafety pass flagged: the
+// §5.2 writeback split reserves a data slot in the *home* node's
+// receiver state, and the expiry event used to be scheduled with a bare
+// engine.At — running it on whichever shard processed the sender
+// instead of the shard owning the home node. The expiry now routes
+// through noc.ScheduleAt, so on a sharded engine it must be a recorded
+// handoff and must still release the reservation.
+func TestWritebackReservationExpiresOnHomeShard(t *testing.T) {
+	cfg := PaperConfig(16)
+	cfg.Opt = Optimizations{WritebackSplit: true}
+	e := shard.New(2)
+	e.AssignNodes(cfg.Nodes)
+	n := New(cfg, e, sim.NewRNG(1))
+	e.SetLookahead(n.Lookahead())
+	n.SetBitErrorRate(0)
+	n.SetDelivery(func(*noc.Packet, sim.Cycle) {})
+	e.Register(sim.TickFunc(n.Tick))
+
+	// Src on shard 0, home (Dst) on shard 1: the reservation and its
+	// expiry belong to the other shard.
+	src, home := 1, 9
+	if e.NodeShard(src) == e.NodeShard(home) {
+		t.Fatalf("nodes %d and %d landed on the same shard; pick farther apart", src, home)
+	}
+	if !n.Send(&noc.Packet{Src: src, Dst: home, Type: noc.Data, IsWriteback: true}) {
+		t.Fatal("writeback send rejected")
+	}
+	hs := n.nodes[home]
+	if len(hs.reserved) == 0 {
+		t.Fatal("writeback split did not reserve a slot at the home node")
+	}
+	before := e.Handoffs()
+	e.Run(5000)
+	if len(hs.reserved) != 0 {
+		t.Fatalf("home-node reservation never expired: %v", hs.reserved)
+	}
+	if e.Handoffs() == before {
+		t.Fatal("no cross-shard handoffs recorded — expireReservation is bypassing noc.ScheduleAt again")
+	}
+}
+
+// TestReceiverSchedulingReservationExpires covers the sibling path: a
+// request with receiver scheduling reserves the reply slot at its own
+// node, and the expiry routed through noc.ScheduleAt with the source
+// node must still clean it up on the local shard.
+func TestReceiverSchedulingReservationExpires(t *testing.T) {
+	cfg := PaperConfig(16)
+	cfg.Opt = Optimizations{ReceiverScheduling: true}
+	e := shard.New(2)
+	e.AssignNodes(cfg.Nodes)
+	n := New(cfg, e, sim.NewRNG(1))
+	e.SetLookahead(n.Lookahead())
+	n.SetBitErrorRate(0)
+	n.SetDelivery(func(*noc.Packet, sim.Cycle) {})
+	e.Register(sim.TickFunc(n.Tick))
+
+	src := 2
+	if !n.Send(&noc.Packet{Src: src, Dst: 11, Type: noc.Meta, ExpectsDataReply: true}) {
+		t.Fatal("request send rejected")
+	}
+	ss := n.nodes[src]
+	if len(ss.reserved) == 0 {
+		t.Fatal("receiver scheduling did not reserve the reply slot")
+	}
+	e.Run(5000)
+	if len(ss.reserved) != 0 {
+		t.Fatalf("reply-slot reservation never expired: %v", ss.reserved)
+	}
+}

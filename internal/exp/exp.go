@@ -143,14 +143,14 @@ func Table1(o Options) Result {
 		Title: "Table 1: optical link parameters",
 		Text:  b.String(),
 		Values: map[string]float64{
-			"path_loss_db": r.PathLoss.TotalDB,
-			"snr_db":       r.OpticalSNRdB,
+			"path_loss_db": float64(r.PathLoss.TotalDB),
+			"snr_db":       float64(r.OpticalSNRdB),
 			"ber":          r.BER,
 			"jitter_ps":    r.JitterRMS * 1e12,
 			"bits_per_cyc": float64(r.BitsPerCycle),
-			"tx_mw":        r.TxActivePowerW * 1e3,
-			"rx_mw":        r.RxPowerW * 1e3,
-			"standby_mw":   r.TxStandbyPowerW * 1e3,
+			"tx_mw":        float64(r.TxActivePowerW) * 1e3,
+			"rx_mw":        float64(r.RxPowerW) * 1e3,
+			"standby_mw":   float64(r.TxStandbyPowerW) * 1e3,
 		},
 	}
 }
@@ -454,7 +454,7 @@ func Fig8(o Options) Result {
 	for ai, app := range apps {
 		mMesh, mFsoi := ms[2*ai], ms[2*ai+1]
 		baseTotal := mMesh.Energy.Total()
-		rel := mFsoi.Energy.Total() / baseTotal
+		rel := float64(mFsoi.Energy.Total() / baseTotal)
 		t.AddRow(app.Name,
 			fmt.Sprintf("%.3f", mFsoi.Energy.Network/baseTotal),
 			fmt.Sprintf("%.3f", mFsoi.Energy.CoreCache/baseTotal),
@@ -464,7 +464,7 @@ func Fig8(o Options) Result {
 			fmt.Sprintf("%.1f", mMesh.AvgPowerW))
 		relSum += rel
 		if mFsoi.Energy.Network > 0 {
-			netRatioSum += mMesh.Energy.Network / mFsoi.Energy.Network
+			netRatioSum += float64(mMesh.Energy.Network / mFsoi.Energy.Network)
 		}
 		count++
 	}

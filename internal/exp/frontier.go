@@ -43,8 +43,8 @@ func Frontier(o Options) Result {
 				fmt.Sprintf("%.3f", r.LaserPowerMW),
 				fmt.Sprintf("%.3f", r.TotalLaserW),
 				fmt.Sprintf("%.3f", r.EnergyPerBitJ*1e12))
-			vals[fmt.Sprintf("loss_%s_%d", name, nodes)] = r.WorstCaseDB
-			vals[fmt.Sprintf("epb_%s_%d", name, nodes)] = r.EnergyPerBitJ * 1e12
+			vals[fmt.Sprintf("loss_%s_%d", name, nodes)] = float64(r.WorstCaseDB)
+			vals[fmt.Sprintf("epb_%s_%d", name, nodes)] = float64(r.EnergyPerBitJ) * 1e12
 		}
 	}
 	b.WriteString("Worst-case insertion loss and laser energy (analytic)\n")

@@ -202,7 +202,7 @@ func (inj *Injector) solveThermal() {
 		dim++
 	}
 	res := thermal.ForCooling(inj.cfg.Thermal.Cooling, dim).
-		Solve(thermal.UniformPower(dim, inj.cfg.Thermal.PowerPerNodeW))
+		Solve(thermal.UniformPower(dim, optics.Watts(inj.cfg.Thermal.PowerPerNodeW)))
 	inj.riseK = make([]float64, inj.net.Nodes)
 	for i := range inj.riseK {
 		inj.riseK[i] = res.Temps[i%len(res.Temps)] - res.Ambient
@@ -210,20 +210,20 @@ func (inj *Injector) solveThermal() {
 }
 
 // penaltyDB returns a node's total margin penalty at the given cycle.
-func (inj *Injector) penaltyDB(node int, now sim.Cycle) float64 {
+func (inj *Injector) penaltyDB(node int, now sim.Cycle) optics.DB {
 	p := inj.cfg.MarginPenaltyDB
 	if inj.cfg.Thermal.Enabled {
 		ramp := 1 - math.Exp(-float64(now)/inj.cfg.Thermal.TauCycles)
 		p += inj.cfg.Thermal.DroopDBPerK * inj.riseK[node] * ramp
 	}
-	return p
+	return optics.DB(p)
 }
 
 // berFor derives the injected bit-error rate from the Table 1 Q factor
 // under the node's current margin penalty: Q' = Q * 10^(-penalty/10)
 // (the optical SNR-dB convention used throughout internal/optics).
 func (inj *Injector) berFor(node int, now sim.Cycle) float64 {
-	q := inj.baseQ * optics.FromDB(inj.penaltyDB(node, now))
+	q := inj.baseQ * inj.penaltyDB(node, now).Ratio()
 	ber := optics.BERFromQ(q)
 	if ber > 0.5 {
 		ber = 0.5

@@ -57,7 +57,7 @@ func TestBERDerivesFromLinkBudget(t *testing.T) {
 		inj := New(Config{MarginPenaltyDB: pen, ConfirmDropProb: 0.01},
 			netCfg, sim.NewRNG(1).NewStream("fault"))
 		got := inj.BitErrorRate(0, 0)
-		want := optics.BERFromQ(baseQ * optics.FromDB(pen))
+		want := optics.BERFromQ(baseQ * optics.DB(pen).Ratio())
 		if math.Abs(got-want) > want*1e-9 {
 			t.Fatalf("penalty %g dB: BER %g, want BERFromQ(Q*FromDB) = %g", pen, got, want)
 		}

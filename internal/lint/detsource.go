@@ -12,13 +12,16 @@ import (
 // these leaks host state into the run and silently breaks the
 // bit-identical-replay guarantee.
 //
-// It additionally confines host concurrency: every internal package
-// outside concurrencyAllowlist — simulation or not — is barred from
-// goroutines, select, and importing sync or sync/atomic. Experiment
-// fan-out must go through fsoi/internal/parallel, whose index-ordered
-// merge keeps parallel output byte-identical to serial; ad-hoc
-// concurrency anywhere else would reopen the scheduler-ordering hole
-// that package exists to close. cmd/ and examples/ stay exempt.
+// It additionally confines host concurrency: every module package
+// outside concurrencyAllowlist — cmd/ and examples/ binaries included
+// — is barred from goroutines, select, and importing sync or
+// sync/atomic. Experiment fan-out must go through
+// fsoi/internal/parallel, whose index-ordered merge keeps parallel
+// output byte-identical to serial; ad-hoc concurrency anywhere else
+// would reopen the scheduler-ordering hole that package exists to
+// close. The binaries keep only the wall-clock exemption (time.Now
+// for benchmark timing), because the sim-package call bans below
+// apply solely to simulation packages.
 type DetSource struct{}
 
 // Name implements Analyzer.
@@ -26,7 +29,7 @@ func (DetSource) Name() string { return "detsource" }
 
 // Doc implements Analyzer.
 func (DetSource) Doc() string {
-	return "forbids wall-clock time, global math/rand, and env lookups in simulation packages, and goroutines/select/sync in every internal package outside the concurrency allowlist"
+	return "forbids wall-clock time, global math/rand, and env lookups in simulation packages, and goroutines/select/sync in every module package outside the concurrency allowlist"
 }
 
 // bannedCalls maps package path -> function name -> the remedy text.

@@ -21,6 +21,8 @@ import (
 	"go/ast"
 	"sort"
 	"strings"
+
+	"fsoi/internal/parallel"
 )
 
 // Finding is one rule violation at one position.
@@ -49,7 +51,7 @@ type Analyzer interface {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []Analyzer {
-	return []Analyzer{DetSource{}, MapOrder{}, RNGStream{}, FloatEq{}}
+	return []Analyzer{DetSource{}, MapOrder{}, RNGStream{}, FloatEq{}, Shardsafety{}, Units{}}
 }
 
 // simPackages are the module-relative package roots whose code runs
@@ -81,13 +83,15 @@ func isSimPackage(rel string) bool {
 	return false
 }
 
-// concurrencyAllowlist names the internal packages that may use
-// goroutines, select, and the sync primitives. Host concurrency is
-// architecturally confined to these audited packages — everything else
-// under internal/ must go through them (fsoi/internal/parallel merges
-// results by submission index, so callers stay byte-identical to
-// serial). cmd/ and examples/ binaries are exempt: wall-clock timing
-// and fan-out there never touch simulated state.
+// concurrencyAllowlist names the packages that may use goroutines,
+// select, and the sync primitives. Host concurrency is architecturally
+// confined to these audited packages — everything else in the module,
+// cmd/ and examples/ binaries included, must go through them
+// (fsoi/internal/parallel merges results by submission index, so
+// callers stay byte-identical to serial). The binaries keep only the
+// wall-clock exemption: time.Now for benchmark timing never touches
+// simulated state, but ad-hoc fan-out in a driver would reorder
+// result aggregation just as surely as it would inside internal/.
 var concurrencyAllowlist = []string{
 	"internal/parallel",
 	// The sharded event engine is the one simulation package allowed to
@@ -99,12 +103,9 @@ var concurrencyAllowlist = []string{
 	"internal/sim/shard",
 }
 
-// bansConcurrency reports whether the module-relative path rel is an
-// internal package outside the concurrency allowlist.
+// bansConcurrency reports whether the module-relative path rel is
+// outside the concurrency allowlist. Every module package is in scope.
 func bansConcurrency(rel string) bool {
-	if rel != "internal" && !strings.HasPrefix(rel, "internal/") {
-		return false
-	}
 	for _, p := range concurrencyAllowlist {
 		if rel == p || strings.HasPrefix(rel, p+"/") {
 			return false
@@ -185,47 +186,110 @@ func collectAllows(p *Package, known map[string]bool) (allows []*allow, bad []Fi
 // Run executes the analyzers over the packages and applies suppression
 // directives. It returns the surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	return RunWorkers(pkgs, analyzers, 1)
+}
+
+// RunWorkers is Run fanned out over the internal/parallel pool:
+// packages are analyzed on up to `workers` goroutines and the findings
+// merged by submission index, so the output is byte-identical to the
+// serial run at every worker count. Analyzers only read their own
+// *Package, so package-level checks are share-nothing jobs.
+func RunWorkers(pkgs []*Package, analyzers []Analyzer, workers int) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
+	perPkg := parallel.Map(len(pkgs), workers, func(i int) []Finding {
+		return runPackage(pkgs[i], analyzers, known)
+	})
 	var out []Finding
-	for _, p := range pkgs {
-		allows, bad := collectAllows(p, known)
-		out = append(out, bad...)
+	for _, fs := range perPkg {
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out
+}
 
-		// An allow on line N suppresses findings of its analyzer on
-		// line N (trailing comment) and line N+1 (comment above).
-		byKey := make(map[string][]*allow)
-		key := func(file string, line int, analyzer string) string {
-			return fmt.Sprintf("%s\x00%d\x00%s", file, line, analyzer)
-		}
-		for _, a := range allows {
-			byKey[key(a.file, a.line, a.analyzer)] = append(byKey[key(a.file, a.line, a.analyzer)], a)
-			byKey[key(a.file, a.line+1, a.analyzer)] = append(byKey[key(a.file, a.line+1, a.analyzer)], a)
-		}
+// runPackage applies the suite and the suppression directives to one
+// package.
+func runPackage(p *Package, analyzers []Analyzer, known map[string]bool) []Finding {
+	allows, bad := collectAllows(p, known)
+	out := bad
 
-		for _, a := range analyzers {
-			for _, f := range a.Check(p) {
-				matched := false
-				for _, al := range byKey[key(f.File, f.Line, f.Analyzer)] {
-					al.used = true
-					matched = true
-				}
-				if !matched {
-					out = append(out, f)
-				}
+	// An allow on line N suppresses findings of its analyzer on
+	// line N (trailing comment) and line N+1 (comment above).
+	byKey := make(map[string][]*allow)
+	key := func(file string, line int, analyzer string) string {
+		return fmt.Sprintf("%s\x00%d\x00%s", file, line, analyzer)
+	}
+	for _, a := range allows {
+		byKey[key(a.file, a.line, a.analyzer)] = append(byKey[key(a.file, a.line, a.analyzer)], a)
+		byKey[key(a.file, a.line+1, a.analyzer)] = append(byKey[key(a.file, a.line+1, a.analyzer)], a)
+	}
+
+	for _, a := range analyzers {
+		for _, f := range a.Check(p) {
+			matched := false
+			for _, al := range byKey[key(f.File, f.Line, f.Analyzer)] {
+				al.used = true
+				matched = true
 			}
-		}
-		for _, al := range allows {
-			if !al.used {
-				out = append(out, Finding{
-					Analyzer: "lint", File: al.file, Line: al.line, Col: 1,
-					Message: fmt.Sprintf("unused suppression of %q: the code it excused is gone, delete the comment", al.analyzer),
-				})
+			if !matched {
+				out = append(out, f)
 			}
 		}
 	}
+	for _, al := range allows {
+		if !al.used {
+			out = append(out, Finding{
+				Analyzer: "lint", File: al.file, Line: al.line, Col: 1,
+				Message: fmt.Sprintf("unused suppression of %q: the code it excused is gone, delete the comment", al.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// Suppression is one well-formed //lint:allow directive, exposed for
+// the suppression-budget report: CI fails when the count per
+// (analyzer, file) grows, so every new allow is a reviewed decision.
+type Suppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Reason   string `json:"reason"`
+}
+
+// Suppressions collects every well-formed allow directive in the
+// packages, sorted by position. Malformed directives are ignored here;
+// Run reports them as findings.
+func Suppressions(pkgs []*Package, analyzers []Analyzer) []Suppression {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Suppression
+	for _, p := range pkgs {
+		allows, _ := collectAllows(p, known)
+		for _, a := range allows {
+			out = append(out, Suppression{Analyzer: a.analyzer, File: a.file, Line: a.line, Reason: a.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -239,5 +303,4 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }

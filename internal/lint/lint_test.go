@@ -12,10 +12,11 @@ import (
 )
 
 // fixtureVirtualPaths maps each testdata/src directory to the import
-// path it impersonates. The choice matters: detsource only fires
-// inside simulation packages, rngstream everywhere except
-// internal/sim, and the "allowed" fixture proves that cmd/ code (like
-// cmd/experiments' wall-clock timing) is exempt from detsource.
+// path it impersonates. The choice matters: detsource's call bans only
+// fire inside simulation packages, rngstream everywhere except
+// internal/sim, and the "allowed" fixture pins the exact shape of the
+// cmd/ exemption — wall-clock timing is free in a binary, but the
+// module-wide concurrency ban still applies there.
 var fixtureVirtualPaths = map[string]string{
 	"detsource":   "fsoi/internal/core",
 	"maporder":    "fsoi/internal/stats",
@@ -24,6 +25,9 @@ var fixtureVirtualPaths = map[string]string{
 	"allowed":     "fsoi/cmd/experiments",
 	"parallelpkg": "fsoi/internal/parallel",
 	"syncban":     "fsoi/internal/analytic",
+	"shardsafety": "fsoi/internal/mesh",
+	"units":       "fsoi/internal/power",
+	"nolookahead": "fsoi/internal/optnet",
 }
 
 // want is one expectation parsed from a fixture comment.

@@ -1,0 +1,61 @@
+// Package unitsfix seeds unit-discipline violations and the idioms the
+// units analyzer must accept. Linted under the virtual import path
+// fsoi/internal/power, inside the physics layer's scope.
+package unitsfix
+
+import (
+	"fsoi/internal/optics"
+	"fsoi/internal/sim"
+)
+
+func relabel(loss optics.DB) optics.DBm {
+	return optics.DBm(loss) // want "units: optics.DBm\(loss\) relabels a DB as a DBm"
+}
+
+func strip(w optics.Watts) float64 {
+	return float64(w) // want "units: float64\(w\) strips the Watts unit"
+}
+
+func stripCycles(c sim.Cycle) float64 {
+	return float64(c) // want "units: float64\(c\) discards the cycle unit"
+}
+
+func addLevels(a, b optics.DBm) optics.DBm {
+	return a + b // want "units: .* combines two absolute power levels"
+}
+
+func subtractLevels(a, b optics.DBm) optics.DBm {
+	return a - b // want "units: .* combines two absolute power levels"
+}
+
+func squareWatts(a, b optics.Watts) optics.Watts {
+	return a * b // want "units: .* squares the Watts unit"
+}
+
+func divideDB(a, b optics.DB) optics.DB {
+	return a / b // want "units: .* divides log-scale quantities"
+}
+
+// Tagging a raw float is free: that is how quantities enter the typed
+// world.
+func tagOK(x float64) optics.Watts { return optics.Watts(x) }
+
+// Relative losses add; a constant operand is a scale, not a quantity.
+func sumOK(a, b optics.DB) optics.DB { return a + b }
+
+func scaleOK(a optics.Joules) optics.Joules { return a * 2 }
+
+// The budget idiom: a level plus a loss goes through the typed method.
+func budgetOK(p optics.DBm, l optics.DB) optics.DBm { return p.Plus(l) }
+
+// Linear power ratios are physical (link margins); only log-scale
+// units are barred from division.
+func ratioOK(a, b optics.Watts) float64 {
+	r := a / b
+	return float64(r) //lint:allow units a watt ratio is dimensionless; the strip is the point
+}
+
+// An audited boundary carries its justification.
+func kernelOK(w optics.Watts) float64 {
+	return float64(w) //lint:allow units solver kernel boundary demands a raw float
+}

@@ -227,10 +227,5 @@ func (n *Network) deliver(p *noc.Packet, now sim.Cycle) {
 	}
 }
 
-// engineAt schedules a callback on the simulation engine.
-func (n *Network) engineAt(at sim.Cycle, fn func(now sim.Cycle)) {
-	n.engine.At(at, fn)
-}
-
 // NumNodes reports the node count.
 func (n *Network) NumNodes() int { return n.cfg.Dim * n.cfg.Dim }

@@ -196,8 +196,12 @@ func (r *router) forward(in *vc, p, v int, f flit, outPort int, now sim.Cycle) {
 		r.outputs[outPort].vcHeld[dstVC] = false
 		in.outPort, in.outVC = -1, -1
 	}
+	// The downstream router may live on another shard: hand the flit to
+	// the engine through the shard-aware router so it lands on the
+	// owner's queue. The link traversal is exactly the Lookahead()
+	// window, so the hand-off always clears the epoch horizon.
 	arrival := now + sim.Cycle(r.cfg.LinkCycles)
-	r.net.engineAt(arrival, func(at sim.Cycle) {
+	noc.ScheduleAt(r.net.engine, next.id, arrival, func(at sim.Cycle) {
 		next.acceptFlit(dstPort, dstVC, f, at)
 	})
 }

@@ -39,8 +39,10 @@ func PaperVCSEL() VCSEL {
 	}
 }
 
-// AveragePower returns the mean emitted optical power at the bias point.
-func (v VCSEL) AveragePower() float64 {
+// averagePowerW is the mean emitted optical power at the bias point as
+// a bare float64, shared by AveragePower and LevelPowers so both tag
+// the identical IEEE-754 expression.
+func (v VCSEL) averagePowerW() float64 {
 	i := v.BiasCurrent - v.ThresholdCurrent
 	if i < 0 {
 		return 0
@@ -48,19 +50,24 @@ func (v VCSEL) AveragePower() float64 {
 	return i * v.SlopeEfficiency
 }
 
+// AveragePower returns the mean emitted optical power at the bias point.
+func (v VCSEL) AveragePower() Watts {
+	return Watts(v.averagePowerW())
+}
+
 // LevelPowers splits the average power into the one/zero levels implied by
 // the extinction ratio re: P1 = 2*Pavg*re/(re+1), P0 = P1/re.
-func (v VCSEL) LevelPowers() (p1, p0 float64) {
-	avg := v.AveragePower()
+func (v VCSEL) LevelPowers() (p1, p0 Watts) {
+	avg := v.averagePowerW()
 	re := v.ExtinctionRatio
-	p1 = 2 * avg * re / (re + 1)
-	return p1, p1 / re
+	one := 2 * avg * re / (re + 1)
+	return Watts(one), Watts(one / re)
 }
 
 // ElectricalPower returns the DC power drawn by the laser itself
 // (paper: 0.96 mW = 0.48 mA at 2 V).
-func (v VCSEL) ElectricalPower() float64 {
-	return v.BiasCurrent * v.ForwardVoltage
+func (v VCSEL) ElectricalPower() Watts {
+	return Watts(v.BiasCurrent * v.ForwardVoltage)
 }
 
 // ParasiticBandwidth returns the RC-limited 3 dB bandwidth of the
@@ -88,9 +95,11 @@ func PaperPhotodetector() Photodetector {
 	return Photodetector{Responsivity: 0.5, Capacitance: 100e-15, DarkCurrent: 5e-9}
 }
 
-// Photocurrent converts incident optical power to current.
-func (p Photodetector) Photocurrent(power float64) float64 {
-	return p.Responsivity*power + p.DarkCurrent
+// Photocurrent converts incident optical power to current. The
+// responsivity is the sanctioned optics→electronics dimension crossing
+// (A/W), so stripping the watt tag here is the conversion itself.
+func (p Photodetector) Photocurrent(power Watts) float64 {
+	return p.Responsivity*float64(power) + p.DarkCurrent //lint:allow units responsivity (A/W) is the watt-to-ampere conversion
 }
 
 // TIA models the transimpedance amplifier plus limiting amplifier chain.
@@ -98,7 +107,7 @@ type TIA struct {
 	Bandwidth        float64 // Hz (paper: 36 GHz)
 	Transimpedance   float64 // V/A (paper: 15000)
 	InputNoiseAmps   float64 // A/sqrt(Hz) input-referred current noise density
-	SupplyPower      float64 // W for the full receive chain (paper: 4.2 mW)
+	SupplyPower      Watts   // for the full receive chain (paper: 4.2 mW)
 	TemperatureKelvn float64 // for shot/thermal accounting
 }
 
@@ -134,8 +143,8 @@ func (t TIA) ShotNoise(photocurrent float64) float64 {
 // the transmit chain is driver-bandwidth-limited.
 type Driver struct {
 	Bandwidth    float64 // Hz (paper: 43 GHz)
-	SupplyPower  float64 // W while transmitting (paper: 6.3 mW)
-	StandbyPower float64 // W whole transmitter in standby (paper: 0.43 mW)
+	SupplyPower  Watts   // while transmitting (paper: 6.3 mW)
+	StandbyPower Watts   // whole transmitter in standby (paper: 0.43 mW)
 }
 
 // PaperDriver returns the evaluation driver.

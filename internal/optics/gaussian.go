@@ -57,20 +57,6 @@ func ApertureTransmission(apertureRadius, beamRadius float64) float64 {
 	return 1 - math.Exp(-2*r*r)
 }
 
-// DB converts a power ratio (<= 1 for loss) to decibels of loss
-// (positive for loss).
-func DB(ratio float64) float64 {
-	if ratio <= 0 {
-		return math.Inf(1)
-	}
-	return -10 * math.Log10(ratio)
-}
-
-// FromDB converts a loss in dB (positive) back to a power ratio.
-func FromDB(db float64) float64 {
-	return math.Pow(10, -db/10)
-}
-
 // erfc is math.Erfc; aliased here so BER code reads like the textbook
 // formula.
 func erfc(x float64) float64 { return math.Erfc(x) }

@@ -11,7 +11,7 @@ type FreeSpacePath struct {
 	RxLensAperture  float64 // focusing micro-lens diameter, m (paper: 190 um)
 	MirrorCount     int     // number of micro-mirror reflections (2 in Figure 1a)
 	MirrorReflect   float64 // power reflectivity per mirror
-	SubstrateLossDB float64 // GaAs substrate absorption + residual Fresnel, dB
+	SubstrateLossDB DB      // GaAs substrate absorption + residual Fresnel
 	Wavelength      float64 // m (paper: 980 nm)
 }
 
@@ -49,9 +49,9 @@ func (p FreeSpacePath) PathLoss() PathLossBreakdown {
 	mirror := math.Pow(p.MirrorReflect, float64(p.MirrorCount))
 
 	b := PathLossBreakdown{
-		TxClipDB:      DB(txClip),
-		SpreadingDB:   DB(rxClip),
-		MirrorDB:      DB(mirror),
+		TxClipDB:      DBFromRatio(txClip),
+		SpreadingDB:   DBFromRatio(rxClip),
+		MirrorDB:      DBFromRatio(mirror),
 		SubstrateDB:   p.SubstrateLossDB,
 		BeamRadiusRx:  wAtRx,
 		RayleighRange: beam.RayleighRange(),
@@ -62,11 +62,11 @@ func (p FreeSpacePath) PathLoss() PathLossBreakdown {
 
 // PathLossBreakdown itemizes the optical loss along a free-space route.
 type PathLossBreakdown struct {
-	TxClipDB      float64 // collimating-lens truncation
-	SpreadingDB   float64 // diffraction spreading vs receive-lens aperture
-	MirrorDB      float64 // accumulated mirror reflectivity
-	SubstrateDB   float64 // GaAs substrate and coating losses
-	TotalDB       float64
+	TxClipDB      DB // collimating-lens truncation
+	SpreadingDB   DB // diffraction spreading vs receive-lens aperture
+	MirrorDB      DB // accumulated mirror reflectivity
+	SubstrateDB   DB // GaAs substrate and coating losses
+	TotalDB       DB
 	BeamRadiusRx  float64 // 1/e² beam radius arriving at the receive lens, m
 	RayleighRange float64 // collimated-beam Rayleigh range, m
 }

@@ -35,10 +35,10 @@ func PaperLink() LinkConfig {
 type LinkReport struct {
 	// Optics.
 	PathLoss       PathLossBreakdown
-	TxPowerOneW    float64 // optical power for a one, at the VCSEL, W
-	TxPowerZeroW   float64
-	RxPowerOneW    float64 // at the photodetector, W
-	RxPowerZeroW   float64
+	TxPowerOneW    Watts // optical power for a one, at the VCSEL
+	TxPowerZeroW   Watts
+	RxPowerOneW    Watts // at the photodetector
+	RxPowerZeroW   Watts
 	PhotocurrentI1 float64 // A
 	PhotocurrentI0 float64 // A
 
@@ -47,7 +47,7 @@ type LinkReport struct {
 	NoiseZeroRMS float64 // A
 	QFactor      float64
 	BER          float64
-	OpticalSNRdB float64 // 10*log10(Q) convention for optical links
+	OpticalSNRdB DB      // 10*log10(Q) convention for optical links
 	JitterRMS    float64 // s, noise-to-jitter conversion at the sampling edge
 
 	// Rate support.
@@ -57,22 +57,22 @@ type LinkReport struct {
 	BitsPerCycle   int // line bits per core cycle per VCSEL
 
 	// Power.
-	TxActivePowerW  float64 // driver + VCSEL while transmitting
-	TxStandbyPowerW float64
-	RxPowerW        float64
-	EnergyPerBitTxJ float64
-	EnergyPerBitRxJ float64
+	TxActivePowerW  Watts // driver + VCSEL while transmitting
+	TxStandbyPowerW Watts
+	RxPowerW        Watts
+	EnergyPerBitTxJ Joules
+	EnergyPerBitRxJ Joules
 }
 
 // Budget evaluates the link from device first principles.
 func (c LinkConfig) Budget() LinkReport {
 	var r LinkReport
 	r.PathLoss = c.Path.PathLoss()
-	t := FromDB(r.PathLoss.TotalDB)
+	t := r.PathLoss.TotalDB.Ratio()
 
 	r.TxPowerOneW, r.TxPowerZeroW = c.VCSEL.LevelPowers()
-	r.RxPowerOneW = r.TxPowerOneW * t
-	r.RxPowerZeroW = r.TxPowerZeroW * t
+	r.RxPowerOneW = r.TxPowerOneW.Scale(t)
+	r.RxPowerZeroW = r.TxPowerZeroW.Scale(t)
 	r.PhotocurrentI1 = c.PD.Photocurrent(r.RxPowerOneW)
 	r.PhotocurrentI0 = c.PD.Photocurrent(r.RxPowerZeroW)
 
@@ -81,7 +81,7 @@ func (c LinkConfig) Budget() LinkReport {
 	r.NoiseZeroRMS = math.Hypot(circuit, c.TIA.ShotNoise(r.PhotocurrentI0))
 	r.QFactor = (r.PhotocurrentI1 - r.PhotocurrentI0) / (r.NoiseOneRMS + r.NoiseZeroRMS)
 	r.BER = BERFromQ(r.QFactor)
-	r.OpticalSNRdB = 10 * math.Log10(r.QFactor)
+	r.OpticalSNRdB = DB(10 * math.Log10(r.QFactor))
 
 	// The driver equalizes the VCSEL parasitic pole, so the chain
 	// bandwidth is the driver and TIA in cascade.
@@ -100,8 +100,8 @@ func (c LinkConfig) Budget() LinkReport {
 	r.TxActivePowerW = c.Driver.SupplyPower + c.VCSEL.ElectricalPower()
 	r.TxStandbyPowerW = c.Driver.StandbyPower
 	r.RxPowerW = c.TIA.SupplyPower
-	r.EnergyPerBitTxJ = r.TxActivePowerW / c.DataRate
-	r.EnergyPerBitRxJ = r.RxPowerW / c.DataRate
+	r.EnergyPerBitTxJ = r.TxActivePowerW.Per(c.DataRate)
+	r.EnergyPerBitRxJ = r.RxPowerW.Per(c.DataRate)
 	return r
 }
 
@@ -156,11 +156,11 @@ func (a PhaseArray) BeamDivergence() float64 {
 
 // SteeringLossDB returns the scan loss at the given off-axis angle,
 // the standard cos^3 element-pattern roll-off.
-func (a PhaseArray) SteeringLossDB(angle float64) float64 {
+func (a PhaseArray) SteeringLossDB(angle float64) DB {
 	if math.Abs(angle) > a.MaxSteerRad {
-		return math.Inf(1)
+		return DB(math.Inf(1))
 	}
-	return DB(math.Pow(math.Cos(angle), 3))
+	return DBFromRatio(math.Pow(math.Cos(angle), 3))
 }
 
 // CanSteer reports whether the required off-axis angle is inside the

@@ -23,14 +23,14 @@ import (
 // waveguide-crossbar loss models share. The defaults sit at the
 // conservative end of the ranges surveyed in arXiv:1512.07492.
 type WaveguideDevices struct {
-	PropagationDBPerCm float64 // waveguide propagation loss, dB/cm
-	CrossingDB         float64 // per waveguide crossing
-	BendDB             float64 // per 90° bend
-	RingThroughDB      float64 // passing a ring off-resonance
-	RingDropDB         float64 // dropped through a ring on-resonance
-	CouplerDB          float64 // laser-to-waveguide coupling
-	SensitivityDBm     float64 // photodetector sensitivity floor, dBm
-	MarginDB           float64 // system margin on top of the budget
+	PropagationDBPerCm float64 // waveguide propagation loss, dB/cm (a density, not a DB)
+	CrossingDB         DB      // per waveguide crossing
+	BendDB             DB      // per 90° bend
+	RingThroughDB      DB      // passing a ring off-resonance
+	RingDropDB         DB      // dropped through a ring on-resonance
+	CouplerDB          DB      // laser-to-waveguide coupling
+	SensitivityDBm     DBm     // photodetector sensitivity floor
+	MarginDB           DB      // system margin on top of the budget
 	LaserEfficiency    float64 // laser wall-plug efficiency (optical/electrical)
 	LineRate           float64 // bit/s per wavelength channel
 }
@@ -69,33 +69,33 @@ type LossReport struct {
 	Bends        int
 	PathLengthCm float64 // worst-case guided (or free-space) route
 
-	// Loss budget, dB.
-	PropagationDB float64
-	CrossingDB    float64
-	RingDB        float64 // through + drop
-	BendDB        float64
-	CouplerDB     float64
-	SplitterDB    float64 // SWMR broadcast split (10·log10 n), 0 elsewhere
-	MarginDB      float64
-	WorstCaseDB   float64 // total: what the laser must overcome
+	// Loss budget.
+	PropagationDB DB
+	CrossingDB    DB
+	RingDB        DB // through + drop
+	BendDB        DB
+	CouplerDB     DB
+	SplitterDB    DB // SWMR broadcast split (10·log10 n), 0 elsewhere
+	MarginDB      DB
+	WorstCaseDB   DB // total: what the laser must overcome
 
 	// Power and energy derived from the budget.
-	SensitivityDBm  float64 // receiver floor the budget is closed against
-	LaserPowerDBm   float64 // optical launch power per wavelength channel
+	SensitivityDBm  DBm // receiver floor the budget is closed against
+	LaserPowerDBm   DBm // optical launch power per wavelength channel
 	LaserPowerMW    float64
 	Channels        int     // wavelength channels the topology keeps lit
-	TotalLaserW     float64 // electrical wall-plug power, all channels lit
-	EnergyPerBitJ   float64 // electrical laser energy per bit on one channel
+	TotalLaserW     Watts   // electrical wall-plug power, all channels lit
+	EnergyPerBitJ   Joules  // electrical laser energy per bit on one channel
 	LineRate        float64 // bit/s per channel the energy is quoted at
 	LaserEfficiency float64
 }
 
 // finish sums the component losses and derives power and energy.
 func (d WaveguideDevices) finish(r LossReport) LossReport {
-	r.PropagationDB = r.PathLengthCm * d.PropagationDBPerCm
-	r.CrossingDB = float64(r.Crossings) * d.CrossingDB
-	r.RingDB = float64(r.ThroughRings)*d.RingThroughDB + float64(r.DropRings)*d.RingDropDB
-	r.BendDB = float64(r.Bends) * d.BendDB
+	r.PropagationDB = DB(r.PathLengthCm * d.PropagationDBPerCm)
+	r.CrossingDB = d.CrossingDB.Scale(float64(r.Crossings))
+	r.RingDB = d.RingThroughDB.Scale(float64(r.ThroughRings)) + d.RingDropDB.Scale(float64(r.DropRings))
+	r.BendDB = d.BendDB.Scale(float64(r.Bends))
 	r.CouplerDB = d.CouplerDB
 	r.MarginDB = d.MarginDB
 	r.WorstCaseDB = r.PropagationDB + r.CrossingDB + r.RingDB + r.BendDB +
@@ -108,11 +108,11 @@ func (d WaveguideDevices) finish(r LossReport) LossReport {
 
 // closeBudget derives laser power and energy from a summed budget.
 func closeBudget(r LossReport) LossReport {
-	r.LaserPowerDBm = r.SensitivityDBm + r.WorstCaseDB
-	r.LaserPowerMW = math.Pow(10, r.LaserPowerDBm/10)
-	perChannelW := r.LaserPowerMW * 1e-3 / r.LaserEfficiency
-	r.TotalLaserW = perChannelW * float64(r.Channels)
-	r.EnergyPerBitJ = perChannelW / r.LineRate
+	r.LaserPowerDBm = r.SensitivityDBm.Plus(r.WorstCaseDB)
+	r.LaserPowerMW = r.LaserPowerDBm.MilliWatts()
+	perChannel := Watts(r.LaserPowerMW * 1e-3 / r.LaserEfficiency)
+	r.TotalLaserW = perChannel.Scale(float64(r.Channels))
+	r.EnergyPerBitJ = perChannel.Per(r.LineRate)
 	return r
 }
 
@@ -171,7 +171,7 @@ func (d WaveguideDevices) SnakeCrossbarLoss(nodes int, g ChipGeometry) LossRepor
 		DropRings:    1,
 		Bends:        2 * (g.MeshDim - 1),
 		PathLengthCm: serpentineCm(g),
-		SplitterDB:   10 * math.Log10(float64(nodes)),
+		SplitterDB:   DB(10 * math.Log10(float64(nodes))),
 		Channels:     nodes,
 	})
 }

@@ -33,8 +33,8 @@ func TestLossBudgetsClose(t *testing.T) {
 				t.Fatalf("%s@%d: budget did not close: %+v", r.Topology, nodes, r)
 			}
 			// The launch power must be exactly sensitivity + loss.
-			wantDBm := r.SensitivityDBm + r.WorstCaseDB
-			if math.Abs(r.LaserPowerDBm-wantDBm) > 1e-9 {
+			wantDBm := r.SensitivityDBm.Plus(r.WorstCaseDB)
+			if math.Abs(float64(r.LaserPowerDBm-wantDBm)) > 1e-9 {
 				t.Fatalf("%s@%d: launch %.3f dBm, want %.3f", r.Topology, nodes, r.LaserPowerDBm, wantDBm)
 			}
 		}
@@ -65,7 +65,7 @@ func TestFSOILossFlatInRadix(t *testing.T) {
 	// Free-space loss depends on die size and steering only; with the
 	// same die it must not grow by more than a fraction of a dB from 64
 	// to 256 nodes (the geometry's worst-case diagonal is unchanged).
-	if d := math.Abs(f256.WorstCaseDB - f64.WorstCaseDB); d > 0.5 {
+	if d := math.Abs(float64(f256.WorstCaseDB - f64.WorstCaseDB)); d > 0.5 {
 		t.Fatalf("fsoi loss moved %.2f dB from 64 to 256 nodes; must stay flat", d)
 	}
 }
@@ -93,10 +93,10 @@ func TestSnakeSplitterIsLogarithmic(t *testing.T) {
 	d := PaperWaveguideDevices()
 	s64 := d.SnakeCrossbarLoss(64, PaperChip(8))
 	s256 := d.SnakeCrossbarLoss(256, PaperChip(16))
-	if math.Abs(s64.SplitterDB-10*math.Log10(64)) > 1e-9 {
+	if math.Abs(float64(s64.SplitterDB)-10*math.Log10(64)) > 1e-9 {
 		t.Fatalf("snake@64 splitter %.2f dB, want 10·log10(64)", s64.SplitterDB)
 	}
-	if growth := s256.SplitterDB - s64.SplitterDB; math.Abs(growth-10*math.Log10(4)) > 1e-9 {
+	if growth := float64(s256.SplitterDB - s64.SplitterDB); math.Abs(growth-10*math.Log10(4)) > 1e-9 {
 		t.Fatalf("snake splitter growth %.2f dB for 4x radix, want %.2f", growth, 10*math.Log10(4))
 	}
 }

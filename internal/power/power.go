@@ -3,33 +3,42 @@
 // the optical signaling-chain energies of Table 1, and a temperature-
 // scaled leakage term. The absolute constants target 45 nm at 3.3 GHz;
 // Figure 8 depends on the ratios, which these constants preserve.
+//
+// All energies and powers carry the optics unit types (Joules, Watts,
+// Seconds), so the fsoilint units pass rejects W+J and cycles/Hz
+// mistakes at type-check time. Every arithmetic rewrite below is a
+// single operand commutation of the original expression (never a
+// re-association), keeping Figure 8 byte-identical.
 package power
 
-import "fsoi/internal/sim"
+import (
+	"fsoi/internal/optics"
+	"fsoi/internal/sim"
+)
 
-// Params collects the per-event energies (joules) and static powers
-// (watts) of the modeled system.
+// Params collects the per-event energies and static powers of the
+// modeled system.
 type Params struct {
 	// Cores and caches (Wattch-style).
-	CoreEnergyPerOp   float64 // dynamic energy per committed operation
-	CoreIdlePower     float64 // clock + unmanaged switching per core
-	L1AccessEnergy    float64
-	L2AccessEnergy    float64
-	LeakagePerNode    float64 // temperature-adjusted static power per node
-	LeakageTempCoeff  float64 // fractional leakage growth per kelvin
+	CoreEnergyPerOp   optics.Joules // dynamic energy per committed operation
+	CoreIdlePower     optics.Watts  // clock + unmanaged switching per core
+	L1AccessEnergy    optics.Joules
+	L2AccessEnergy    optics.Joules
+	LeakagePerNode    optics.Watts // temperature-adjusted static power per node
+	LeakageTempCoeff  float64      // fractional leakage growth per kelvin
 	NominalTempKelvin float64
 	HotTempKelvin     float64 // operating hotspot estimate
 
 	// Electrical mesh network (Orion-style).
-	RouterEnergyPerFlitHop float64 // buffers + arbitration + crossbar
-	LinkEnergyPerFlitHop   float64
-	RouterStaticPower      float64 // per router: clocking + leakage
+	RouterEnergyPerFlitHop optics.Joules // buffers + arbitration + crossbar
+	LinkEnergyPerFlitHop   optics.Joules
+	RouterStaticPower      optics.Watts // per router: clocking + leakage
 
 	// Optical network (Table 1 signaling chain).
-	OpticalTxEnergyPerBit float64
-	OpticalRxEnergyPerBit float64
-	OpticalRxStatic       float64 // per always-on receiver
-	OpticalTxStandby      float64 // per lane in standby
+	OpticalTxEnergyPerBit optics.Joules
+	OpticalRxEnergyPerBit optics.Joules
+	OpticalRxStatic       optics.Watts // per always-on receiver
+	OpticalTxStandby      optics.Watts // per lane in standby
 
 	CoreGHz float64
 }
@@ -63,19 +72,19 @@ func PaperPower() Params {
 }
 
 // seconds converts cycles to wall time.
-func (p Params) seconds(c sim.Cycle) float64 {
-	return float64(c) / (p.CoreGHz * 1e9)
+func (p Params) seconds(c sim.Cycle) optics.Seconds {
+	return optics.CycleSeconds(c, p.CoreGHz*1e9)
 }
 
-// Breakdown is the Figure 8 energy decomposition, in joules.
+// Breakdown is the Figure 8 energy decomposition.
 type Breakdown struct {
-	Network   float64 // interconnect dynamic + static
-	CoreCache float64 // core + cache dynamic + core idle
-	Leakage   float64
+	Network   optics.Joules // interconnect dynamic + static
+	CoreCache optics.Joules // core + cache dynamic + core idle
+	Leakage   optics.Joules
 }
 
 // Total sums the components.
-func (b Breakdown) Total() float64 { return b.Network + b.CoreCache + b.Leakage }
+func (b Breakdown) Total() optics.Joules { return b.Network + b.CoreCache + b.Leakage }
 
 // Activity is the platform-independent activity record a run produces.
 type Activity struct {
@@ -101,24 +110,24 @@ type Activity struct {
 }
 
 // leakage returns the temperature-scaled static energy.
-func (p Params) leakage(a Activity) float64 {
+func (p Params) leakage(a Activity) optics.Joules {
 	scale := 1 + p.LeakageTempCoeff*(p.HotTempKelvin-p.NominalTempKelvin)
-	return float64(a.Nodes) * p.LeakagePerNode * scale * p.seconds(a.Cycles)
+	return p.LeakagePerNode.Scale(float64(a.Nodes)).Scale(scale).Times(p.seconds(a.Cycles))
 }
 
 // coreCache returns the core + cache dynamic energy plus idle power.
-func (p Params) coreCache(a Activity) float64 {
-	dynamic := float64(a.Ops)*p.CoreEnergyPerOp +
-		float64(a.L1Accesses)*p.L1AccessEnergy +
-		float64(a.L2Accesses)*p.L2AccessEnergy
-	idle := float64(a.Nodes) * p.CoreIdlePower * p.seconds(a.Cycles)
+func (p Params) coreCache(a Activity) optics.Joules {
+	dynamic := p.CoreEnergyPerOp.Scale(float64(a.Ops)) +
+		p.L1AccessEnergy.Scale(float64(a.L1Accesses)) +
+		p.L2AccessEnergy.Scale(float64(a.L2Accesses))
+	idle := p.CoreIdlePower.Scale(float64(a.Nodes)).Times(p.seconds(a.Cycles))
 	return dynamic + idle
 }
 
 // MeshEnergy evaluates a run on the electrical mesh.
 func (p Params) MeshEnergy(a Activity) Breakdown {
-	dyn := float64(a.FlitHops) * (p.RouterEnergyPerFlitHop + p.LinkEnergyPerFlitHop)
-	static := float64(a.Routers) * p.RouterStaticPower * p.seconds(a.Cycles)
+	dyn := (p.RouterEnergyPerFlitHop + p.LinkEnergyPerFlitHop).Scale(float64(a.FlitHops))
+	static := p.RouterStaticPower.Scale(float64(a.Routers)).Times(p.seconds(a.Cycles))
 	return Breakdown{
 		Network:   dyn + static,
 		CoreCache: p.coreCache(a),
@@ -129,10 +138,11 @@ func (p Params) MeshEnergy(a Activity) Breakdown {
 // FSOIEnergy evaluates a run on the optical interconnect.
 func (p Params) FSOIEnergy(a Activity) Breakdown {
 	bits := float64(a.OpticalBitsTx + a.ConfirmBits)
-	dyn := bits*p.OpticalTxEnergyPerBit + float64(a.OpticalBitsRx+a.ConfirmBits)*p.OpticalRxEnergyPerBit
-	seconds := p.seconds(a.Cycles)
-	static := float64(a.Nodes) * (float64(a.OpticalRxPerNode)*p.OpticalRxStatic +
-		float64(a.OpticalLanes)*p.OpticalTxStandby*(1-a.TxBusyFraction)) * seconds
+	dyn := p.OpticalTxEnergyPerBit.Scale(bits) +
+		p.OpticalRxEnergyPerBit.Scale(float64(a.OpticalBitsRx+a.ConfirmBits))
+	perNode := p.OpticalRxStatic.Scale(float64(a.OpticalRxPerNode)) +
+		p.OpticalTxStandby.Scale(float64(a.OpticalLanes)).Scale(1-a.TxBusyFraction)
+	static := perNode.Scale(float64(a.Nodes)).Times(p.seconds(a.Cycles))
 	return Breakdown{
 		Network:   dyn + static,
 		CoreCache: p.coreCache(a),
@@ -141,10 +151,10 @@ func (p Params) FSOIEnergy(a Activity) Breakdown {
 }
 
 // AveragePower converts a breakdown back to watts over the run.
-func (p Params) AveragePower(b Breakdown, cycles sim.Cycle) float64 {
+func (p Params) AveragePower(b Breakdown, cycles sim.Cycle) optics.Watts {
 	s := p.seconds(cycles)
 	if s == 0 { //lint:allow floateq exact zero only when cycles is zero; guards the division
 		return 0
 	}
-	return b.Total() / s
+	return b.Total().Over(s)
 }

@@ -73,10 +73,10 @@ func (m Metrics) Canonical() string {
 		put("fsoi.degraded_transmissions", m.FSOI.DegradedTransmissions)
 	}
 
-	put("energy.network", m.Energy.Network)
-	put("energy.corecache", m.Energy.CoreCache)
-	put("energy.leakage", m.Energy.Leakage)
-	put("power.avg_w", m.AvgPowerW)
+	put("energy.network", float64(m.Energy.Network))
+	put("energy.corecache", float64(m.Energy.CoreCache))
+	put("energy.leakage", float64(m.Energy.Leakage))
+	put("power.avg_w", float64(m.AvgPowerW))
 
 	put("traffic.meta", m.MetaPackets)
 	put("traffic.data", m.DataPackets)

@@ -17,6 +17,7 @@ import (
 	"fsoi/internal/mesh"
 	"fsoi/internal/noc"
 	"fsoi/internal/obs"
+	"fsoi/internal/optics"
 	"fsoi/internal/optnet"
 	"fsoi/internal/power"
 	"fsoi/internal/sim"
@@ -163,7 +164,7 @@ type Metrics struct {
 	Latency   *noc.LatencyStats
 	FSOI      *core.Stats // nil on electrical networks
 	Energy    power.Breakdown
-	AvgPowerW float64
+	AvgPowerW optics.Watts
 
 	// FaultCounters aggregates the injected-fault census and the
 	// resilience events it triggered; nil unless fault injection was on.

@@ -15,6 +15,8 @@ package thermal
 import (
 	"fmt"
 	"math"
+
+	"fsoi/internal/optics"
 )
 
 // Cooling selects the vertical heat-extraction technology.
@@ -97,13 +99,20 @@ func (r Result) LeakageFactor(nominalK, coeffPerK float64) float64 {
 }
 
 // Solve computes the steady-state temperatures for the given per-node
-// power map (watts) by Jacobi relaxation:
+// power map by Jacobi relaxation:
 //
 //	(T[i]-Tamb)/Rv + sum_j (T[i]-T[j])/Rl = P[i]
-func (c Config) Solve(power []float64) Result {
+func (c Config) Solve(powerMap []optics.Watts) Result {
 	n := c.Dim * c.Dim
-	if len(power) != n {
-		panic(fmt.Sprintf("thermal: power map has %d entries, grid needs %d", len(power), n))
+	if len(powerMap) != n {
+		panic(fmt.Sprintf("thermal: power map has %d entries, grid needs %d", len(powerMap), n))
+	}
+	// The Jacobi kernel mixes kelvins, K/W conductances, and watts in
+	// every accumulator; units are enforced at the API boundary and the
+	// kernel runs on bare float64s.
+	power := make([]float64, n)
+	for i := range powerMap {
+		power[i] = float64(powerMap[i]) //lint:allow units solver kernel boundary: inside, W mixes with K and K/W by design
 	}
 	t := make([]float64, n)
 	next := make([]float64, n)
@@ -161,8 +170,8 @@ func (c Config) neighbors(i int) []int {
 }
 
 // UniformPower builds a power map with the same wattage per node.
-func UniformPower(dim int, perNode float64) []float64 {
-	p := make([]float64, dim*dim)
+func UniformPower(dim int, perNode optics.Watts) []optics.Watts {
+	p := make([]optics.Watts, dim*dim)
 	for i := range p {
 		p[i] = perNode
 	}
@@ -171,7 +180,7 @@ func UniformPower(dim int, perNode float64) []float64 {
 
 // HotspotPower builds a power map with one elevated node, for spreading
 // studies.
-func HotspotPower(dim int, base, hotspot float64, at int) []float64 {
+func HotspotPower(dim int, base, hotspot optics.Watts, at int) []optics.Watts {
 	p := UniformPower(dim, base)
 	p[at] = hotspot
 	return p

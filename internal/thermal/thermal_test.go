@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"fsoi/internal/optics"
 )
 
 func TestUniformFieldMatchesClosedForm(t *testing.T) {
@@ -66,7 +68,7 @@ func TestHotspotIsHottest(t *testing.T) {
 func TestMonotoneInPower(t *testing.T) {
 	cfg := ForCooling(Microchannel, 4)
 	err := quick.Check(func(raw uint8) bool {
-		p := float64(raw%20) + 1
+		p := optics.Watts(raw%20) + 1
 		lo := cfg.Solve(UniformPower(4, p))
 		hi := cfg.Solve(UniformPower(4, p+1))
 		return hi.MaxK > lo.MaxK && lo.MaxK > cfg.Ambient
@@ -82,7 +84,7 @@ func TestLinearSuperposition(t *testing.T) {
 	cfg := ForCooling(AirCooled, 4)
 	a := HotspotPower(4, 2, 10, 3)
 	b := HotspotPower(4, 1, 8, 12)
-	both := make([]float64, len(a))
+	both := make([]optics.Watts, len(a))
 	for i := range both {
 		both[i] = a[i] + b[i]
 	}
@@ -110,7 +112,7 @@ func TestPowerMapValidation(t *testing.T) {
 			t.Fatal("wrong-size power map must panic")
 		}
 	}()
-	ForCooling(AirCooled, 4).Solve(make([]float64, 3))
+	ForCooling(AirCooled, 4).Solve(make([]optics.Watts, 3))
 }
 
 func TestCoolingStrings(t *testing.T) {
