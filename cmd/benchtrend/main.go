@@ -34,6 +34,8 @@ import (
 	"fsoi/internal/lint"
 	"fsoi/internal/parallel"
 	"fsoi/internal/sim"
+	"fsoi/internal/system"
+	"fsoi/internal/workload"
 )
 
 // engineBench is one testing.Benchmark measurement of the event queue.
@@ -60,6 +62,26 @@ type lintBench struct {
 	Findings    int     `json:"findings"`
 }
 
+// scaleBench times the 1024-node scale-half run (EXPERIMENTS.md's
+// wall-clock table) on the serial exact engine and on the windowed
+// parallel engine at the same partition. The two engines execute
+// legally different schedules — the windowed run lands cross-node
+// interactions one lookahead later — so both cycle counts are
+// recorded; the speedup is the wall-clock ratio, which depends on
+// GOMAXPROCS (a 1-core host can only measure the windowing overhead).
+type scaleBench struct {
+	Nodes             int     `json:"nodes"`
+	App               string  `json:"app"`
+	Scale             float64 `json:"scale"`
+	Shards            int     `json:"shards"`
+	ParWorkers        int     `json:"par_workers"`
+	SerialCycles      int64   `json:"serial_cycles"`
+	ParCycles         int64   `json:"par_cycles"`
+	SerialWallSeconds float64 `json:"serial_wall_seconds"`
+	ParWallSeconds    float64 `json:"par_wall_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
 // snapshot is the schema of one BENCH_<n>.json file. Map keys marshal
 // sorted, so diffs between snapshots stay stable.
 type snapshot struct {
@@ -72,6 +94,10 @@ type snapshot struct {
 	// Lint is absent from snapshots predating the static-analysis
 	// suite; omitempty keeps old BENCH_<n>.json files comparable.
 	Lint *lintBench `json:"lint,omitempty"`
+	// Scale is absent from snapshots predating the windowed parallel
+	// engine; omitempty keeps old BENCH_<n>.json files comparable, and
+	// -check gates the parallel speedup only when its baseline has it.
+	Scale *scaleBench `json:"scale,omitempty"`
 }
 
 // benchSchedule mirrors BenchmarkEngineSchedule in internal/sim: a
@@ -144,6 +170,7 @@ func main() {
 	jobs := flag.Int("j", 1, "concurrent simulations for experiment timings (0 = one per CPU)")
 	check := flag.String("check", "", "regression-gate mode: re-measure the engine hot path, compare against this snapshot, exit 1 on regression; writes nothing")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown in -check mode (allocs/op must never grow)")
+	noScale := flag.Bool("noscale", false, "skip the 1024-node scale measurement (about two serial minutes of simulation)")
 	flag.Parse()
 
 	if *check != "" {
@@ -198,6 +225,10 @@ func main() {
 	}
 	snap.Lint = lb
 
+	if !*noScale {
+		snap.Scale = measureScale()
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
@@ -212,6 +243,51 @@ func main() {
 		path, snap.Engine["schedule"].NsPerOp, snap.Engine["schedule"].AllocsPerOp)
 	fmt.Printf("fsoilint: %d packages loaded in %.2fs, analyzed in %.3fs (%d findings, %d workers)\n",
 		lb.Packages, lb.LoadSeconds, lb.RunSeconds, lb.Findings, snap.Workers)
+	if sc := snap.Scale; sc != nil {
+		fmt.Printf("scale: %d nodes serial %.1fs, -par %d %.1fs, speedup %.2fx (GOMAXPROCS %d)\n",
+			sc.Nodes, sc.SerialWallSeconds, sc.ParWorkers, sc.ParWallSeconds, sc.Speedup, snap.GOMAXPROCS)
+	}
+}
+
+// measureScale times the 1024-node scale-half run — jacobi at scale
+// 0.008, the EXPERIMENTS.md wall-clock table's row — on the serial
+// exact engine (8 shards, one goroutine) and on the windowed parallel
+// engine (8 shards, 8 workers).
+func measureScale() *scaleBench {
+	const (
+		nodes      = 1024
+		appName    = "jacobi"
+		appScale   = 0.008
+		shards     = 8
+		parWorkers = 8
+	)
+	app, ok := workload.ByName(appName, appScale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchtrend: unknown scale app %q\n", appName)
+		os.Exit(1)
+	}
+	run := func(par int) (int64, float64) {
+		cfg := system.Default(nodes, system.NetFSOI)
+		cfg.Shards = shards
+		cfg.ParWorkers = par
+		s := system.New(cfg)
+		start := time.Now()
+		m := s.Run(app)
+		wall := time.Since(start).Seconds()
+		if !m.Finished {
+			fmt.Fprintf(os.Stderr, "benchtrend: %d-node scale run did not finish\n", nodes)
+			os.Exit(1)
+		}
+		return int64(m.Cycles), wall
+	}
+	sc := &scaleBench{
+		Nodes: nodes, App: appName, Scale: appScale,
+		Shards: shards, ParWorkers: parWorkers,
+	}
+	sc.SerialCycles, sc.SerialWallSeconds = run(0)
+	sc.ParCycles, sc.ParWallSeconds = run(parWorkers)
+	sc.Speedup = sc.SerialWallSeconds / sc.ParWallSeconds
+	return sc
 }
 
 // timeLint measures one fsoilint pass over the module the snapshot is
@@ -283,6 +359,24 @@ func checkEngine(baselinePath string, tolerance float64) error {
 		return fmt.Errorf("engine hot path regressed against %s", baselinePath)
 	}
 	fmt.Printf("engine hot path within %.0f%% of %s\n", tolerance*100, baselinePath)
+
+	// The parallel-speedup gate exists only for baselines that recorded
+	// a scale section; older snapshots (BENCH_0.json predates the
+	// windowed engine) skip it, keeping -check backward-compatible.
+	if base.Scale != nil {
+		fresh := measureScale()
+		floor := base.Scale.Speedup * (1 - tolerance)
+		verdict := "ok"
+		if fresh.Speedup < floor {
+			verdict = fmt.Sprintf("FAIL: below %.2fx", floor)
+		}
+		fmt.Printf("scale %-8d  %6.2fx speedup, serial %.1fs vs -par %d %.1fs (baseline %.2fx, floor %.2fx)  %s\n",
+			fresh.Nodes, fresh.Speedup, fresh.SerialWallSeconds, fresh.ParWorkers,
+			fresh.ParWallSeconds, base.Scale.Speedup, floor, verdict)
+		if fresh.Speedup < floor {
+			return fmt.Errorf("parallel speedup regressed against %s", baselinePath)
+		}
+	}
 	return nil
 }
 

@@ -35,6 +35,7 @@ func main() {
 	chromeTrace := flag.String("chrometrace", "", "record packet-lifecycle events and write a Chrome trace-event file (chrome://tracing, Perfetto)")
 	profilePath := flag.String("profile", "", "write a host CPU profile (pprof) of the run and print engine counters")
 	shards := flag.Int("shards", 0, "run on the exact sharded engine with N shards (output is byte-identical to serial; 0/1 = serial engine)")
+	par := flag.Int("par", 0, "run on the windowed parallel engine with N workers (FSOI only; byte-identical across worker/shard counts; combine with -shards to set the partition, default N shards)")
 	canonicalPath := flag.String("canonical", "", "write the canonical metric listing to a file (- for stdout), the byte-comparison surface of the equivalence CI")
 	configPath := flag.String("config", "", "JSON spec overriding the flags (see internal/config)")
 	listApps := flag.Bool("listapps", false, "list applications and exit")
@@ -97,6 +98,9 @@ func main() {
 	}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	if *par > 0 {
+		cfg.ParWorkers = *par
 	}
 	s := system.New(cfg)
 	if *profilePath != "" {
@@ -170,6 +174,10 @@ func main() {
 	if se := s.ShardEngine(); se != nil {
 		fmt.Printf("shards              %d shards, %d cross-shard handoffs (%d under the %d-cycle lookahead)\n",
 			se.Shards(), se.Handoffs(), se.UnderLookahead(), se.Lookahead())
+	}
+	if w := s.WindowEngine(); w != nil {
+		fmt.Printf("parallel            %d shards x %d workers, %d windows of %d cycles, %d cross-shard handoffs (%d tight)\n",
+			w.Shards(), w.Workers(), w.WindowCount(), w.Lookahead(), w.Handoffs(), w.TightHandoffs())
 	}
 	if *canonicalPath != "" {
 		text := m.Canonical()

@@ -56,6 +56,13 @@ type Spec struct {
 	// Shards > 1 selects the exact sharded engine (internal/sim/shard);
 	// results are byte-identical to the serial engine at any value.
 	Shards int `json:"shards,omitempty"`
+
+	// ParWorkers > 0 selects the windowed parallel engine (FSOI only):
+	// shards advance concurrently through lookahead-wide windows on
+	// ParWorkers OS threads. Results are byte-identical across worker
+	// and shard counts but run a conservatively windowed schedule, so
+	// they are not comparable cycle-for-cycle with the serial engine.
+	ParWorkers int `json:"par_workers,omitempty"`
 }
 
 // OptSpec toggles the §5 optimizations; nil means all on (the paper
@@ -178,6 +185,9 @@ func (s Spec) Build() (system.Config, error) {
 	}
 	if s.Shards > 0 {
 		cfg.Shards = s.Shards
+	}
+	if s.ParWorkers > 0 {
+		cfg.ParWorkers = s.ParWorkers
 	}
 	if s.MetaVCSELs > 0 {
 		cfg.FSOI.MetaVCSELs = s.MetaVCSELs

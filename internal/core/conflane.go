@@ -24,10 +24,12 @@ type confLane struct {
 	reserved []map[int]int
 	// nextOffset rotates reservation offsets per owner.
 	nextOffset []int
-	stats      confLaneStats
+	// stats is indexed by the owning node, so every mutation happens in
+	// the owner's context and the totals merge at read time.
+	stats []confLaneStats
 }
 
-// confLaneStats measures channel occupancy.
+// confLaneStats measures one node's channel occupancy.
 type confLaneStats struct {
 	MiniUsed     int64 // mini-cycles consumed by any transmission
 	Reservations int64 // active subscription slots ever granted
@@ -40,6 +42,7 @@ func newConfLane(nodes, miniPerCycle int) *confLane {
 		busyUntil:    make([]int64, nodes),
 		reserved:     make([]map[int]int, nodes),
 		nextOffset:   make([]int, nodes),
+		stats:        make([]confLaneStats, nodes),
 	}
 	for i := range c.reserved {
 		c.reserved[i] = make(map[int]int)
@@ -59,7 +62,7 @@ func (c *confLane) sendDelay(src int, now sim.Cycle, minis int) sim.Cycle {
 		start = c.busyUntil[src]
 	}
 	c.busyUntil[src] = start + int64(minis)
-	c.stats.MiniUsed += int64(minis)
+	c.stats[src].MiniUsed += int64(minis)
 	return sim.Cycle((start - abs) / int64(c.miniPerCycle))
 }
 
@@ -79,11 +82,11 @@ func (c *confLane) reserve(owner, subscriber int) int {
 		if _, taken := c.reserved[owner][off]; !taken {
 			c.reserved[owner][off] = subscriber
 			c.nextOffset[owner] = off
-			c.stats.Reservations++
+			c.stats[owner].Reservations++
 			return off
 		}
 	}
-	c.stats.Denied++
+	c.stats[owner].Denied++
 	return -1
 }
 
@@ -97,11 +100,16 @@ func (c *confLane) release(owner, subscriber int) {
 	}
 }
 
-// Utilization reports the fraction of mini-cycles used over the run.
+// Utilization reports the fraction of mini-cycles used over the run,
+// summing the per-owner tallies in node order.
 func (c *confLane) Utilization(cycles sim.Cycle, nodes int) float64 {
 	total := int64(cycles) * int64(c.miniPerCycle) * int64(nodes)
 	if total == 0 {
 		return 0
 	}
-	return float64(c.stats.MiniUsed) / float64(total)
+	var used int64
+	for i := range c.stats {
+		used += c.stats[i].MiniUsed
+	}
+	return float64(used) / float64(total)
 }

@@ -57,7 +57,7 @@ func TestConfLaneDistinctOffsets(t *testing.T) {
 	if off := c.reserve(0, 12); off != -1 {
 		t.Fatalf("oversubscription must be denied, got offset %d", off)
 	}
-	if c.stats.Denied != 1 {
+	if c.stats[0].Denied != 1 {
 		t.Fatal("denial must be counted")
 	}
 }

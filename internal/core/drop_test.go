@@ -18,8 +18,8 @@ func TestMaxRetriesDropsPacket(t *testing.T) {
 	cfg.MaxRetries = 3
 	n, engine, delivered, _ := testNet(t, cfg)
 	n.SetBitErrorRate(1)
-	rec := obs.NewRecorder(0)
-	n.SetObserver(rec)
+	sh := obs.NewSharded(cfg.Nodes, 0)
+	n.SetObserver(sh)
 	var dropped []*noc.Packet
 	var droppedAt sim.Cycle
 	n.SetDropDelivery(func(p *noc.Packet, now sim.Cycle) {
@@ -48,7 +48,7 @@ func TestMaxRetriesDropsPacket(t *testing.T) {
 		t.Fatalf("packet died with %d retries, want MaxRetries+1 = %d", p.Retries, cfg.MaxRetries+1)
 	}
 
-	counts := rec.CountByKind()
+	counts := sh.Merged().CountByKind()
 	if counts[obs.KindDrop] != 1 {
 		t.Fatalf("recorded %d drop events, want 1", counts[obs.KindDrop])
 	}

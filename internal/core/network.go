@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strconv"
 
 	"fsoi/internal/noc"
 	"fsoi/internal/obs"
@@ -51,6 +52,12 @@ type DropFunc func(p *noc.Packet, now sim.Cycle)
 type BitFunc func(src, dst int, tag uint64, value bool, now sim.Cycle)
 
 // transmission is one attempt-carrying packet instance.
+//
+// Ownership transfers with the packet: between transmit and resolution
+// the destination node owns the transmission exclusively; a failed
+// attempt is handed back to the source node (a scheduled event on the
+// source's shard) before the source touches it again. No two nodes ever
+// hold it in the same cycle window.
 type transmission struct {
 	pkt          *noc.Packet
 	src          int
@@ -59,17 +66,25 @@ type transmission struct {
 	readyCycle   sim.Cycle // when it became eligible to transmit
 	steerExtra   int       // phase-array retarget penalty this attempt
 	degradeExtra int       // VCSEL-failure serialization penalty this attempt
+	ber          float64   // per-bit error probability, sampled at launch
 	winner       bool      // selected by a retransmission hint
 	retrySlot    int64     // earliest slot index for the next attempt
 	delivered    bool      // payload landed but the confirmation was lost
 }
 
-// nodeState is the per-node transmit machinery.
+// nodeState is the per-node transmit machinery. Everything in here is
+// touched only from events and ticks executing on the owning node, so a
+// partitioned engine never sees two shards in the same nodeState.
 type nodeState struct {
 	queue     [numLanes][]*noc.Packet
 	notBefore map[*noc.Packet]sim.Cycle // scheduling holds (spacing, writeback split)
 	retries   [numLanes][]*transmission
 	lastDst   [numLanes]int
+
+	// arr accumulates the transmissions that landed on each of this
+	// node's receivers during the slot ending now; the node's own tick
+	// resolves and clears each group at the slot boundary.
+	arr [numLanes][][]*transmission
 
 	// Receiver-side reservation table for the data lane: slot index ->
 	// reservations (receiver scheduling + writeback split).
@@ -79,14 +94,6 @@ type nodeState struct {
 	// to estimate reply timing and to generate collision hints.
 	expecting map[int][]sim.Cycle
 	replyEWMA float64
-}
-
-// slotKey identifies one receiver in one slot.
-type slotKey struct {
-	dst  int
-	lane Lane
-	rcv  int
-	slot int64
 }
 
 // Stats carries FSOI-specific measurements beyond noc.LatencyStats.
@@ -113,6 +120,35 @@ type Stats struct {
 	TimeoutRetransmits    int64 // retransmissions launched by the confirmation timeout
 	DuplicateDeliveries   int64 // re-received packets discarded at the receiver
 	DegradedTransmissions int64 // attempts stretched by failed VCSELs
+}
+
+// add folds o into s; integer addition is exact and commutative, so the
+// per-node tallies aggregate identically at every shard and worker count.
+func (s *Stats) add(o *Stats) {
+	for l := 0; l < int(numLanes); l++ {
+		s.Attempts[l] += o.Attempts[l]
+		s.Collided[l] += o.Collided[l]
+		s.Collisions[l] += o.Collisions[l]
+		s.Delivered[l] += o.Delivered[l]
+		s.SlotsObserved[l] += o.SlotsObserved[l]
+		s.Dropped[l] += o.Dropped[l]
+	}
+	for k := range s.DataByKind {
+		s.DataByKind[k] += o.DataByKind[k]
+	}
+	s.HintsIssued += o.HintsIssued
+	s.HintsCorrect += o.HintsCorrect
+	s.HintsWrong += o.HintsWrong
+	s.ConfirmBits += o.ConfirmBits
+	s.ConfirmSignals += o.ConfirmSignals
+	s.BitErrors += o.BitErrors
+	s.ScheduledHolds += o.ScheduledHolds
+	s.HeaderCorruptions += o.HeaderCorruptions
+	s.PayloadCRCErrors += o.PayloadCRCErrors
+	s.ConfirmDrops += o.ConfirmDrops
+	s.TimeoutRetransmits += o.TimeoutRetransmits
+	s.DuplicateDeliveries += o.DuplicateDeliveries
+	s.DegradedTransmissions += o.DegradedTransmissions
 }
 
 // TransmissionProbability reports attempts per node per slot for a lane,
@@ -144,26 +180,36 @@ func (s *Stats) RetransmissionRate(l Lane) float64 {
 }
 
 // Network is the FSOI interconnect.
+//
+// Every piece of mutable state is owned by exactly one node: per-node
+// transmit machinery (nodeState), per-node RNG streams, per-node stats
+// and latency accumulators, and a per-node slice of the shared
+// confirmation-lane bookkeeping. Code executing for node i — its tick,
+// or an event scheduled onto it — touches only node i's slices, so the
+// network runs unchanged on the serial engine, the exact sharded engine,
+// and the windowed parallel engine.
 type Network struct {
 	cfg       Config
-	engine    sim.Scheduler
-	rng       *sim.RNG
+	engine    sim.Scheduler   // setup and end-of-run reporting only
+	scheds    []sim.Scheduler // per-node view of the engine (shard proxies when windowed)
+	nrng      []*sim.RNG      // per-node random streams, derived in node order
 	deliverFn noc.DeliveryFunc
 	confirmFn ConfirmFunc
 	bitFn     BitFunc
 	dropFn    DropFunc
-	obs       *obs.Recorder // nil unless lifecycle tracing is on
-	lat       noc.LatencyStats
-	stats     Stats
+	obs       *obs.Sharded // nil unless lifecycle tracing is on
+	lat       []noc.LatencyStats
+	stats     []Stats
 	nodes     []*nodeState
-	slots     map[slotKey][]*transmission
 	conf      *confLane
 	ber       float64    // per-bit error probability on the signaling chain
 	fault     FaultModel // nil unless an injector is attached
 }
 
 // New builds an FSOI network over the engine; it panics on an invalid
-// configuration (configs are produced by code, not user input).
+// configuration (configs are produced by code, not user input). When the
+// engine partitions nodes (sim.NodeScheduler), every per-node event the
+// network schedules goes through that node's own scheduler view.
 func New(cfg Config, engine sim.Scheduler, rng *sim.RNG) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -171,22 +217,29 @@ func New(cfg Config, engine sim.Scheduler, rng *sim.RNG) *Network {
 	n := &Network{
 		cfg:    cfg,
 		engine: engine,
-		rng:    rng.NewStream("fsoi"),
-		slots:  make(map[slotKey][]*transmission),
 		conf:   newConfLane(cfg.Nodes, cfg.BitsPerCycle),
 		ber:    1e-10,
 	}
+	base := rng.NewStream("fsoi")
+	n.scheds = make([]sim.Scheduler, cfg.Nodes)
+	n.nrng = make([]*sim.RNG, cfg.Nodes)
+	n.stats = make([]Stats, cfg.Nodes)
+	n.lat = make([]noc.LatencyStats, cfg.Nodes)
 	n.nodes = make([]*nodeState, cfg.Nodes)
 	for i := range n.nodes {
-		n.nodes[i] = &nodeState{
+		n.scheds[i] = sim.SchedulerFor(engine, i)
+		n.nrng[i] = base.NewStream("node-" + strconv.Itoa(i))
+		ns := &nodeState{
 			notBefore: make(map[*noc.Packet]sim.Cycle),
 			reserved:  make(map[int64]int),
 			expecting: make(map[int][]sim.Cycle),
 			replyEWMA: 30,
 		}
-		for l := range n.nodes[i].lastDst {
-			n.nodes[i].lastDst[l] = -1
+		for l := range ns.lastDst {
+			ns.lastDst[l] = -1
+			ns.arr[l] = make([][]*transmission, cfg.Receivers)
 		}
+		n.nodes[i] = ns
 	}
 	return n
 }
@@ -199,19 +252,46 @@ func (n *Network) SetBitErrorRate(ber float64) { n.ber = ber }
 // Name identifies the configuration.
 func (n *Network) Name() string { return "fsoi" }
 
-// LatencyStats exposes the per-packet latency measurements.
-func (n *Network) LatencyStats() *noc.LatencyStats { return &n.lat }
+// LatencyStats merges the per-node latency accumulators, in node order,
+// into a fresh aggregate. Call it after (or between) runs, not once and
+// cached.
+func (n *Network) LatencyStats() *noc.LatencyStats {
+	out := &noc.LatencyStats{}
+	for i := range n.lat {
+		out.Merge(&n.lat[i])
+	}
+	return out
+}
 
 // Lookahead declares FSOI's conservative cross-shard window for the
 // sharded engine: the fixed confirmation delay (+2 cycles in the
-// paper). Every cross-node event the network schedules — slot
-// resolution (one slot length, ≥ ConfirmDelay at paper widths),
-// delivery (same-shard by placement), and confirmation (exactly
-// ConfirmDelay) — lands at least this far ahead.
-func (n *Network) Lookahead() sim.Cycle { return sim.Cycle(n.cfg.ConfirmDelay) }
+// paper). Every cross-node event the network schedules — a slot arrival
+// (one slot length, ≥ ConfirmDelay at paper widths), a failure handback
+// or confirmation (exactly ConfirmDelay) — lands at least this far
+// ahead.
+func (n *Network) Lookahead() sim.Cycle {
+	la := sim.Cycle(n.cfg.ConfirmDelay)
+	// A transmission's arrival handoff has exactly one slot of slack, so
+	// a lane with slots shorter than the confirmation delay (an unusual
+	// but legal lane-width choice) caps the window.
+	if s := sim.Cycle(n.cfg.SlotCycles(LaneMeta)); s < la {
+		la = s
+	}
+	if s := sim.Cycle(n.cfg.SlotCycles(LaneData)); s < la {
+		la = s
+	}
+	return la
+}
 
-// Stats exposes FSOI-specific counters.
-func (n *Network) Stats() *Stats { return &n.stats }
+// Stats merges the per-node counters, in node order, into a fresh
+// aggregate.
+func (n *Network) Stats() *Stats {
+	out := &Stats{}
+	for i := range n.stats {
+		out.add(&n.stats[i])
+	}
+	return out
+}
 
 // SetDelivery installs the destination callback.
 func (n *Network) SetDelivery(fn noc.DeliveryFunc) { n.deliverFn = fn }
@@ -228,15 +308,16 @@ func (n *Network) SetBitDelivery(fn BitFunc) { n.bitFn = fn }
 // the network's bookkeeping (the Dropped counters still tally them).
 func (n *Network) SetDropDelivery(fn DropFunc) { n.dropFn = fn }
 
-// SetObserver attaches a lifecycle-event recorder. Passing nil detaches
-// it; with no recorder attached every emission site is a single nil
-// check and the transmit path allocates nothing extra.
-func (n *Network) SetObserver(r *obs.Recorder) { n.obs = r }
+// SetObserver attaches a per-node family of lifecycle-event recorders.
+// Passing nil detaches it; with no recorder attached every emission site
+// is a single nil check and the transmit path allocates nothing extra.
+func (n *Network) SetObserver(r *obs.Sharded) { n.obs = r }
 
-// observe builds the common fields of a lifecycle event for one
-// transmission.
-func (n *Network) observe(kind obs.Kind, tx *transmission, l Lane, at sim.Cycle, aux int64) {
-	n.obs.Emit(obs.Event{
+// observe emits one lifecycle event into the recorder owned by the node
+// whose context is executing (source for launch/backoff/drop events,
+// destination for resolution events).
+func (n *Network) observe(node int, kind obs.Kind, tx *transmission, l Lane, at sim.Cycle, aux int64) {
+	n.obs.For(node).Emit(obs.Event{
 		At: at, Kind: kind, ID: tx.pkt.ID, Aux: aux,
 		Src: int32(tx.src), Dst: int32(tx.pkt.Dst),
 		Attempt: int32(tx.attempt), Class: uint8(tx.pkt.Type), Lane: int8(l),
@@ -260,21 +341,23 @@ func laneFor(p *noc.Packet) Lane {
 	return LaneMeta
 }
 
-// Send enqueues a packet on its lane's outgoing queue.
+// Send enqueues a packet on its lane's outgoing queue. It must be called
+// from the source node's context (or at setup, before the engine runs).
 func (n *Network) Send(p *noc.Packet) bool {
+	sched := n.scheds[p.Src]
 	if p.Src == p.Dst {
 		// Same-node traffic short-circuits through the local port in one
 		// cycle; the optical layer is never involved, but the sender
 		// still sees a (trivially successful) confirmation.
-		p.Created = n.engine.Now()
+		p.Created = sched.Now()
 		p.NetworkDelay = 1
-		n.engine.After(1, func(now sim.Cycle) {
-			n.lat.Record(p)
+		sched.After(1, func(now sim.Cycle) {
+			n.lat[p.Dst].Record(p)
 			if n.deliverFn != nil {
 				n.deliverFn(p, now)
 			}
 		})
-		n.engine.After(1+sim.Cycle(n.cfg.ConfirmDelay), func(now sim.Cycle) {
+		sched.After(1+sim.Cycle(n.cfg.ConfirmDelay), func(now sim.Cycle) {
 			if n.confirmFn != nil {
 				n.confirmFn(p, now)
 			}
@@ -286,7 +369,7 @@ func (n *Network) Send(p *noc.Packet) bool {
 	if len(ns.queue[lane]) >= n.cfg.OutQueue {
 		return false
 	}
-	p.Created = n.engine.Now()
+	p.Created = sched.Now()
 	n.schedulePacket(ns, p, lane)
 	ns.queue[lane] = append(ns.queue[lane], p)
 	return true
@@ -295,7 +378,8 @@ func (n *Network) Send(p *noc.Packet) bool {
 // schedulePacket applies the §5.2 scheduling optimizations, possibly
 // recording a not-before cycle for the packet.
 func (n *Network) schedulePacket(ns *nodeState, p *noc.Packet, lane Lane) {
-	now := n.engine.Now()
+	now := n.scheds[p.Src].Now()
+	cd := sim.Cycle(n.cfg.ConfirmDelay)
 	dataSlot := int64(n.cfg.SlotCycles(LaneData))
 	switch {
 	case lane == LaneMeta && p.ExpectsDataReply && n.cfg.Opt.ReceiverScheduling:
@@ -309,41 +393,48 @@ func (n *Network) schedulePacket(ns *nodeState, p *noc.Packet, lane Lane) {
 			hold += sim.Cycle(dataSlot)
 		}
 		ns.reserved[slot]++
-		n.expireReservation(p.Src, ns, slot)
+		n.expireReservation(p.Src, ns, slot, now)
 		if hold > 0 {
 			ns.notBefore[p] = now + hold
-			n.stats.ScheduledHolds++
+			n.stats[p.Src].ScheduledHolds++
 		}
 		ns.expecting[p.Dst] = append(ns.expecting[p.Dst], now)
 	case lane == LaneData && p.IsWriteback && n.cfg.Opt.WritebackSplit:
-		// Split transaction: announce the writeback and land it in a
-		// free slot at the home node. The 2-cycle announce ride is the
-		// handshake cost.
-		home := n.nodes[p.Dst]
-		slot := (int64(now)+int64(n.cfg.ConfirmDelay))/dataSlot + 1
-		hold := sim.Cycle(n.cfg.ConfirmDelay)
-		for i := 0; home.reserved[slot] > 0 && i < 4; i++ {
-			slot++
-			hold += sim.Cycle(dataSlot)
-		}
-		home.reserved[slot]++
-		n.expireReservation(p.Dst, home, slot)
-		ns.notBefore[p] = now + hold
-		n.stats.ScheduledHolds++
+		// Split transaction: a meta-sized announcement rides to the home
+		// node (the 2-cycle handshake), the home node picks a free slot
+		// at its receiver, and the grant rides back; the writeback itself
+		// is held until the granted slot opens. Both legs are ordinary
+		// node-to-node events, so the reservation is made and expired
+		// entirely in the home node's context.
+		ns.notBefore[p] = now + 2*cd // provisional: released by the grant
+		n.stats[p.Src].ScheduledHolds++
+		src := p.Src
+		noc.ScheduleAt(n.scheds[src], p.Dst, now+cd, func(at sim.Cycle) {
+			home := n.nodes[p.Dst]
+			slot := (int64(at)+int64(cd))/dataSlot + 1
+			for i := 0; home.reserved[slot] > 0 && i < 4; i++ {
+				slot++
+			}
+			home.reserved[slot]++
+			n.expireReservation(p.Dst, home, slot, at)
+			noc.ScheduleAt(n.scheds[p.Dst], src, at+cd, func(sim.Cycle) {
+				n.nodes[src].notBefore[p] = sim.Cycle(slot * dataSlot)
+			})
+		})
 	}
 }
 
 // expireReservation drops a reservation shortly after its slot passes.
-// ns can be any node's receiver state — the writeback split reserves at
-// the *home* node — so the expiry must fire on the shard owning that
-// node, not on whichever shard ran the sender.
-func (n *Network) expireReservation(node int, ns *nodeState, slot int64) {
+// It must be called from the context of the node owning ns — the
+// writeback split reserves at the *home* node — so the expiry fires on
+// the shard owning that node, not on whichever shard ran the sender.
+func (n *Network) expireReservation(node int, ns *nodeState, slot int64, now sim.Cycle) {
 	dataSlot := int64(n.cfg.SlotCycles(LaneData))
 	end := sim.Cycle((slot + 2) * dataSlot)
-	if end <= n.engine.Now() {
-		end = n.engine.Now() + 1
+	if end <= now {
+		end = now + 1
 	}
-	noc.ScheduleAt(n.engine, node, end, func(sim.Cycle) {
+	noc.ScheduleAt(n.scheds[node], node, end, func(sim.Cycle) {
 		if ns.reserved[slot] > 0 {
 			ns.reserved[slot]--
 			if ns.reserved[slot] == 0 {
@@ -357,12 +448,14 @@ func (n *Network) expireReservation(node int, ns *nodeState, slot int64) {
 // mini-cycle (§5.1): the sender's confirmation lane carries the bit at
 // the subscriber's reserved offset, arriving after the confirmation
 // delay plus any mini-cycle queueing (essentially never, at 12 minis per
-// cycle — but measured, not assumed).
+// cycle — but measured, not assumed). It must be called from src's
+// context.
 func (n *Network) SendConfirmBit(src, dst int, tag uint64, value bool) {
-	n.stats.ConfirmBits++
+	n.stats[src].ConfirmBits++
 	n.conf.reserve(src, dst)
-	extra := n.conf.sendDelay(src, n.engine.Now(), 1)
-	noc.ScheduleAt(n.engine, dst, n.engine.Now()+sim.Cycle(n.cfg.ConfirmDelay)+extra, func(now sim.Cycle) {
+	now := n.scheds[src].Now()
+	extra := n.conf.sendDelay(src, now, 1)
+	noc.ScheduleAt(n.scheds[src], dst, now+sim.Cycle(n.cfg.ConfirmDelay)+extra, func(now sim.Cycle) {
 		if n.bitFn != nil {
 			n.bitFn(src, dst, tag, value, now)
 		}
@@ -375,19 +468,41 @@ func (n *Network) ConfirmationUtilization() float64 {
 	return n.conf.Utilization(n.engine.Now(), n.cfg.Nodes)
 }
 
-// Tick advances the network one cycle: at slot boundaries each node's
-// lane serializers pick their next transmission.
+// Tick advances the whole network one cycle on a single-threaded engine
+// by ticking every node in node order. Partitioned engines register
+// TickNode per node instead and never call this.
 func (n *Network) Tick(now sim.Cycle) {
+	for id := range n.nodes {
+		n.TickNode(id, now)
+	}
+}
+
+// TickNode advances one node one cycle. At each lane's slot boundary the
+// node first resolves the slot that just ended on each of its receivers
+// (delivering clean transmissions, adjudicating collisions, handing
+// failures back to their senders), then its lane serializer picks the
+// next transmission for the opening slot. Only state owned by node id is
+// touched.
+func (n *Network) TickNode(id int, now sim.Cycle) {
+	ns := n.nodes[id]
 	for l := Lane(0); l < numLanes; l++ {
 		slotLen := int64(n.cfg.SlotCycles(l))
 		if int64(now)%slotLen != 0 {
 			continue
 		}
 		slot := int64(now) / slotLen
-		for id, ns := range n.nodes {
-			n.stats.SlotsObserved[l]++
-			n.startSlot(id, ns, l, slot, now)
+		for rcv := range ns.arr[l] {
+			group := ns.arr[l][rcv]
+			if len(group) == 0 {
+				continue
+			}
+			// Arrivals are appended only in the event phase, so nothing
+			// grows this bucket while the group resolves.
+			ns.arr[l][rcv] = ns.arr[l][rcv][:0]
+			n.resolveGroup(id, l, slot-1, group, now)
 		}
+		n.stats[id].SlotsObserved[l]++
+		n.startSlot(id, ns, l, slot, now)
 	}
 }
 
@@ -450,7 +565,11 @@ func (n *Network) startSlot(id int, ns *nodeState, l Lane, slot int64, now sim.C
 	}
 }
 
-// transmit registers a transmission in its receiver's slot group.
+// transmit launches one attempt: the beam lands on the destination's
+// receiver at the end of the slot, where the destination's own tick
+// resolves whatever accumulated. The per-bit error probability is
+// sampled here, in the sender's context — the fault model's margin and
+// thermal state belong to the sender — and carried on the transmission.
 func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot int64, now sim.Cycle) {
 	p := tx.pkt
 	tx.steerExtra = 0
@@ -462,54 +581,48 @@ func (n *Network) transmit(id int, ns *nodeState, tx *transmission, l Lane, slot
 	if n.fault != nil {
 		if ext := n.fault.SlotExtension(id, l); ext > 0 {
 			tx.degradeExtra = ext
-			n.stats.DegradedTransmissions++
+			n.stats[id].DegradedTransmissions++
 		}
 	}
+	tx.ber = n.ber
+	if n.fault != nil {
+		tx.ber = n.fault.BitErrorRate(id, now)
+	}
 	rcv := id % n.cfg.Receivers
-	key := slotKey{dst: p.Dst, lane: l, rcv: rcv, slot: slot}
-	group, existed := n.slots[key]
-	n.slots[key] = append(group, tx)
-	n.stats.Attempts[l]++
+	n.stats[id].Attempts[l]++
 	if n.obs != nil {
 		kind := obs.KindTxStart
 		if tx.attempt > 0 {
 			kind = obs.KindRetransmit
 		}
-		n.observe(kind, tx, l, now, slot)
+		n.observe(id, kind, tx, l, now, slot)
 	}
-	if !existed {
-		// Resolution adjudicates the receiver slot, so it belongs to the
-		// destination node's shard; a slot is at least ConfirmDelay (2)
-		// cycles long, so the handoff clears the lookahead window.
-		slotEnd := sim.Cycle((slot + 1) * int64(n.cfg.SlotCycles(l)))
-		noc.ScheduleAt(n.engine, key.dst, slotEnd, func(at sim.Cycle) {
-			n.resolve(key, at)
-		})
-	}
+	// The arrival belongs to the destination node's shard; a slot is at
+	// least ConfirmDelay (2) cycles long, so the handoff clears the
+	// lookahead window.
+	slotEnd := sim.Cycle((slot + 1) * int64(n.cfg.SlotCycles(l)))
+	dst := p.Dst
+	noc.ScheduleAt(n.scheds[id], dst, slotEnd, func(sim.Cycle) {
+		d := n.nodes[dst]
+		d.arr[l][rcv] = append(d.arr[l][rcv], tx)
+	})
 }
 
-// resolve adjudicates one receiver slot at its end: a single uncorrupted
-// transmission is delivered and confirmed; anything else collides.
-func (n *Network) resolve(key slotKey, now sim.Cycle) {
-	group := n.slots[key]
-	delete(n.slots, key)
-	if len(group) == 0 {
-		return
-	}
-	l := key.lane
+// resolveGroup adjudicates one receiver slot at its end, in the
+// destination node's context: a single uncorrupted transmission is
+// delivered and confirmed; anything else collides and every participant
+// is handed back to its sender.
+func (n *Network) resolveGroup(dst int, l Lane, slot int64, group []*transmission, now sim.Cycle) {
+	st := &n.stats[dst]
 	if len(group) == 1 {
 		tx := group[0]
 		// Independent bit errors corrupt the packet with probability
 		// ~bits*BER; an error looks exactly like a collision to the
-		// sender (no confirmation) and is retried the same way. An
-		// attached fault model replaces the flat BER with the
-		// margin-derived, possibly time-varying one.
-		ber := n.ber
-		if n.fault != nil {
-			ber = n.fault.BitErrorRate(tx.src, now)
-		}
-		if ber > 0 && n.rng.Bool(1-math.Pow(1-ber, float64(tx.pkt.Type.Bits()))) {
-			n.stats.BitErrors++
+		// sender (no confirmation) and is retried the same way. The
+		// probability was sampled at launch (tx.ber); the corruption draw
+		// happens here, on the receiver's stream.
+		if tx.ber > 0 && n.nrng[dst].Bool(1-math.Pow(1-tx.ber, float64(tx.pkt.Type.Bits()))) {
+			st.BitErrors++
 			if n.fault != nil {
 				// Locate the corruption: header errors break the PID/~PID
 				// match and register as a (single-party) collision — the
@@ -517,52 +630,52 @@ func (n *Network) resolve(key slotKey, now sim.Cycle) {
 				// header check and are caught by the modelled CRC, which
 				// triggers the same NACK-free retransmission.
 				headerFrac := float64(pidHeaderBits) / float64(tx.pkt.Type.Bits())
-				if n.rng.Bool(headerFrac) {
-					n.stats.HeaderCorruptions++
-					n.stats.Collisions[l]++
-					n.stats.Collided[l]++
+				if n.nrng[dst].Bool(headerFrac) {
+					st.HeaderCorruptions++
+					st.Collisions[l]++
+					st.Collided[l]++
 					if l == LaneData {
-						n.stats.DataByKind[classify(group)]++
+						st.DataByKind[classify(group)]++
 					}
 				} else {
-					n.stats.PayloadCRCErrors++
+					st.PayloadCRCErrors++
 				}
 			}
 			if n.obs != nil {
-				n.observe(obs.KindCollision, tx, l, now, key.slot)
+				n.observe(dst, obs.KindCollision, tx, l, now, slot)
 			}
 			tx.attempt++
 			tx.pkt.Retries++
 			if tx.firstSlotEnd == 0 {
 				tx.firstSlotEnd = now
 			}
-			n.backoff(tx, key.slot, now, false)
+			n.failBack(dst, tx, l, slot, now, false)
 			return
 		}
-		n.deliverClean(tx, l, key.slot, now)
+		n.deliverClean(dst, tx, l, slot, now)
 		return
 	}
 	// Collision: the receiver sees the OR of the beams; PID/~PID headers
 	// disagree, so everyone involved must retry.
-	n.stats.Collisions[l]++
-	n.stats.Collided[l] += int64(len(group))
+	st.Collisions[l]++
+	st.Collided[l] += int64(len(group))
 	if l == LaneData {
-		n.stats.DataByKind[classify(group)]++
+		st.DataByKind[classify(group)]++
 	}
 	winnerPicked := false
 	if l == LaneData && n.cfg.Opt.RetransmitHints {
-		winnerPicked = n.issueHint(key.dst, group)
+		winnerPicked = n.issueHint(dst, group)
 	}
 	for _, tx := range group {
 		if n.obs != nil {
-			n.observe(obs.KindCollision, tx, l, now, key.slot)
+			n.observe(dst, obs.KindCollision, tx, l, now, slot)
 		}
 		tx.attempt++
 		tx.pkt.Retries++
 		if tx.firstSlotEnd == 0 {
 			tx.firstSlotEnd = now
 		}
-		n.backoff(tx, key.slot, now, winnerPicked && tx.winner)
+		n.failBack(dst, tx, l, slot, now, winnerPicked && tx.winner)
 	}
 }
 
@@ -597,21 +710,23 @@ func classify(group []*transmission) CollisionKind {
 // winner notification through the confirmation laser. It reports whether
 // a true participant was selected.
 func (n *Network) issueHint(dst int, group []*transmission) bool {
-	n.stats.HintsIssued++
-	if !n.rng.Bool(n.cfg.HintAccuracy) {
+	st := &n.stats[dst]
+	rng := n.nrng[dst]
+	st.HintsIssued++
+	if !rng.Bool(n.cfg.HintAccuracy) {
 		// Mis-identification: usually harmless (a node not transmitting
 		// ignores the hint), occasionally a wrong node believes it won
 		// and retries immediately, which we model as no winner plus a
 		// chance of an extra immediate contender.
-		if n.rng.Bool(n.cfg.WrongWinner / (1 - n.cfg.HintAccuracy)) {
-			n.stats.HintsWrong++
+		if rng.Bool(n.cfg.WrongWinner / (1 - n.cfg.HintAccuracy)) {
+			st.HintsWrong++
 		}
 		return false
 	}
-	n.stats.HintsCorrect++
+	st.HintsCorrect++
 	// Prefer the longest-suffering contender (the receiver knows who has
 	// been retrying at it), breaking ties randomly so no sender starves.
-	pick := group[n.rng.Intn(len(group))]
+	pick := group[rng.Intn(len(group))]
 	for _, tx := range group {
 		if tx.attempt > pick.attempt {
 			pick = tx
@@ -621,26 +736,37 @@ func (n *Network) issueHint(dst int, group []*transmission) bool {
 	return true
 }
 
-// backoff schedules a retransmission. The sender learns of the failure
-// when the confirmation fails to arrive (slot end + ConfirmDelay); a hint
-// winner goes in the very next slot, everyone else draws from the
-// exponential window starting at the slot after next. A packet that has
-// already burned MaxRetries attempts (its window saturated at
-// MaxBackoffSlots long ago) is dropped instead — unless its payload
-// actually landed and only the confirmation is outstanding, in which
-// case dropping would desynchronize sender and receiver.
-func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner bool) {
+// failBack returns a failed transmission to its sender: physically, the
+// sender learns of the failure when no confirmation arrives, slot end +
+// ConfirmDelay — which is exactly the engine's lookahead, so the
+// handback is a legal cross-shard event. The backoff draw then runs in
+// the sender's context, on the sender's stream.
+func (n *Network) failBack(from int, tx *transmission, l Lane, slot int64, now sim.Cycle, isWinner bool) {
+	noc.ScheduleAt(n.scheds[from], tx.src, now+sim.Cycle(n.cfg.ConfirmDelay), func(at sim.Cycle) {
+		n.backoff(tx, l, slot, at, isWinner)
+	})
+}
+
+// backoff schedules a retransmission, in the sender's context. The
+// sender learns of the failure at slot end + ConfirmDelay, by which time
+// the next slot's launch has passed: a hint winner goes in the second
+// slot after the collision, everyone else draws from the exponential
+// window starting one later. A packet that has already burned MaxRetries
+// attempts (its window saturated at MaxBackoffSlots long ago) is dropped
+// instead — unless its payload actually landed and only the confirmation
+// is outstanding, in which case dropping would desynchronize sender and
+// receiver.
+func (n *Network) backoff(tx *transmission, l Lane, slot int64, now sim.Cycle, isWinner bool) {
 	ns := n.nodes[tx.src]
-	l := laneFor(tx.pkt)
 	if n.cfg.MaxRetries > 0 && tx.attempt > n.cfg.MaxRetries && !tx.delivered {
 		n.drop(tx, l, now)
 		return
 	}
 	if isWinner {
-		tx.retrySlot = slot + 1
+		tx.retrySlot = slot + 2
 		ns.retries[l] = append(ns.retries[l], tx)
 		if n.obs != nil {
-			n.observe(obs.KindBackoff, tx, l, now, tx.retrySlot)
+			n.observe(tx.src, obs.KindBackoff, tx, l, now, tx.retrySlot)
 		}
 		return
 	}
@@ -656,32 +782,42 @@ func (n *Network) backoff(tx *transmission, slot int64, now sim.Cycle, isWinner 
 	if cap := n.backoffCap(); w > cap {
 		w = cap
 	}
-	d := int64(math.Ceil(n.rng.Float64() * w))
+	d := int64(math.Ceil(n.nrng[tx.src].Float64() * w))
 	if d < 1 {
 		d = 1
 	}
-	base := slot + 1
+	base := slot + 2
 	if l == LaneData && n.cfg.Opt.RetransmitHints {
-		// Losers leave the next slot to the winner.
-		base = slot + 2
+		// Losers leave the first reachable slot to the winner.
+		base = slot + 3
 	}
 	tx.retrySlot = base + d - 1
 	ns.retries[l] = append(ns.retries[l], tx)
 	if n.obs != nil {
-		n.observe(obs.KindBackoff, tx, l, now, tx.retrySlot)
+		n.observe(tx.src, obs.KindBackoff, tx, l, now, tx.retrySlot)
 	}
 }
 
-// drop abandons a transmission after retry exhaustion: the terminal
-// lifecycle event fires, the lane's drop counter advances, and the
-// DropFunc (if any) takes ownership of the packet.
+// drop abandons a transmission after retry exhaustion, in the sender's
+// context: the terminal lifecycle event fires, the lane's drop counter
+// advances, and the DropFunc (if any) takes ownership of the packet.
 func (n *Network) drop(tx *transmission, l Lane, now sim.Cycle) {
-	n.stats.Dropped[l]++
+	n.stats[tx.src].Dropped[l]++
 	if n.obs != nil {
-		n.observe(obs.KindDrop, tx, l, now, int64(tx.pkt.Retries))
+		n.observe(tx.src, obs.KindDrop, tx, l, now, int64(tx.pkt.Retries))
 	}
 	if n.dropFn != nil {
 		n.dropFn(tx.pkt, now)
+	}
+}
+
+// deliver completes a delivery in the destination's context: latency
+// accounting, the reply-timing estimate, and the upward callback.
+func (n *Network) deliver(p *noc.Packet, now sim.Cycle) {
+	n.lat[p.Dst].Record(p)
+	n.noteReplyArrival(p, now)
+	if n.deliverFn != nil {
+		n.deliverFn(p, now)
 	}
 }
 
@@ -691,53 +827,59 @@ func (n *Network) drop(tx *transmission, l Lane, now sim.Cycle) {
 // earlier confirmation was lost) is recognized by its ID and discarded —
 // only the confirmation is re-sent — and a freshly lost confirmation
 // parks the sender on the confirmation-timeout retransmission path.
-func (n *Network) deliverClean(tx *transmission, l Lane, slot int64, now sim.Cycle) {
+func (n *Network) deliverClean(dst int, tx *transmission, l Lane, slot int64, now sim.Cycle) {
 	p := tx.pkt
+	st := &n.stats[dst]
 	extra := tx.steerExtra + tx.degradeExtra
 	deliverAt := now + sim.Cycle(extra)
 	if tx.delivered {
-		n.stats.DuplicateDeliveries++
+		st.DuplicateDeliveries++
 	} else {
 		slotLen := int64(n.cfg.SlotCycles(l))
 		p.NetworkDelay = slotLen + int64(extra)
 		if tx.firstSlotEnd != 0 {
 			p.ResolutionDelay = int64(now - tx.firstSlotEnd)
 		}
-		n.stats.Delivered[l]++
-		// resolve already runs on the destination's shard; the steering
-		// extra can be zero, so delivery must stay same-shard.
-		noc.ScheduleAt(n.engine, p.Dst, deliverAt, func(at sim.Cycle) {
-			n.lat.Record(p)
-			n.noteReplyArrival(p, at)
-			if n.deliverFn != nil {
-				n.deliverFn(p, at)
-			}
-		})
+		st.Delivered[l]++
+		if extra == 0 {
+			// Resolution already runs in the destination's tick; with no
+			// pipeline extra the delivery lands this very cycle, so it
+			// must run inline — an event at `now` would slip a cycle.
+			n.deliver(p, now)
+		} else {
+			noc.ScheduleAt(n.scheds[dst], p.Dst, deliverAt, func(at sim.Cycle) {
+				n.deliver(p, at)
+			})
+		}
 	}
 	if n.fault != nil && n.fault.DropConfirm(tx.src, p.Dst, now) {
 		// The payload landed but the sender will never hear so: after the
 		// confirmation timeout it retransmits; the receiver discards the
-		// duplicate above and re-confirms.
-		n.stats.ConfirmDrops++
-		n.stats.TimeoutRetransmits++
+		// duplicate above and re-confirms. The requeue rides the same
+		// +ConfirmDelay handback as a failure.
+		st.ConfirmDrops++
+		st.TimeoutRetransmits++
 		tx.delivered = true
 		tx.attempt++
 		p.Retries++
 		tx.winner = false
 		tx.retrySlot = slot + n.confirmTimeoutSlots()
-		n.nodes[tx.src].retries[l] = append(n.nodes[tx.src].retries[l], tx)
 		if n.obs != nil {
-			n.observe(obs.KindConfirmDrop, tx, l, now, tx.retrySlot)
+			n.observe(dst, obs.KindConfirmDrop, tx, l, now, tx.retrySlot)
 		}
+		src := tx.src
+		noc.ScheduleAt(n.scheds[dst], src, now+sim.Cycle(n.cfg.ConfirmDelay), func(sim.Cycle) {
+			n.nodes[src].retries[l] = append(n.nodes[src].retries[l], tx)
+		})
 		return
 	}
-	n.stats.ConfirmSignals++
+	st.ConfirmSignals++
 	// The receipt confirmation occupies the receiver node's confirmation
 	// lane; its header-sized payload is a handful of mini-cycles.
 	confExtra := n.conf.sendDelay(p.Dst, deliverAt, 4)
 	// The confirmation informs the sender, at least ConfirmDelay ahead:
 	// the handoff back to the source's shard clears the window exactly.
-	noc.ScheduleAt(n.engine, p.Src, deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+confExtra, func(at sim.Cycle) {
+	noc.ScheduleAt(n.scheds[dst], p.Src, deliverAt+sim.Cycle(n.cfg.ConfirmDelay)+confExtra, func(at sim.Cycle) {
 		if n.confirmFn != nil {
 			n.confirmFn(p, at)
 		}

@@ -33,14 +33,17 @@ func TestWritebackReservationExpiresOnHomeShard(t *testing.T) {
 	if e.NodeShard(src) == e.NodeShard(home) {
 		t.Fatalf("nodes %d and %d landed on the same shard; pick farther apart", src, home)
 	}
+	before := e.Handoffs()
 	if !n.Send(&noc.Packet{Src: src, Dst: home, Type: noc.Data, IsWriteback: true}) {
 		t.Fatal("writeback send rejected")
 	}
+	// The announcement rides to the home node (ConfirmDelay cycles);
+	// only then does the home node's own context make the reservation.
+	e.Run(4)
 	hs := n.nodes[home]
 	if len(hs.reserved) == 0 {
-		t.Fatal("writeback split did not reserve a slot at the home node")
+		t.Fatal("writeback announce did not reserve a slot at the home node")
 	}
-	before := e.Handoffs()
 	e.Run(5000)
 	if len(hs.reserved) != 0 {
 		t.Fatalf("home-node reservation never expired: %v", hs.reserved)

@@ -29,6 +29,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"fsoi/internal/core"
 	"fsoi/internal/obs"
@@ -117,18 +118,25 @@ type Injector struct {
 	net   core.Config
 	baseQ float64 // Table 1 Q factor before any penalty
 
-	confirmRNG *sim.RNG
+	// confirmRNG is indexed by the *destination* node: DropConfirm is
+	// drawn in the receiver's context, so each receiver owns its own
+	// stream and no stream is ever advanced from two shards.
+	confirmRNG []*sim.RNG
 
 	// failed[lane][node] transmit VCSELs; ext[lane][node] extra
 	// serialization cycles from transmitting over the survivors.
+	// Both are written once at construction and read-only afterwards.
 	failed [2][]int
 	ext    [2][]int
 
 	// riseK[node] is the steady-state temperature rise over ambient.
 	riseK []float64
 
-	berEpoch sim.Cycle // epoch the cache was computed for (-1 = never)
-	berCache []float64 // per-node injected BER
+	// berEpoch[node]/berCache[node] memoize the injected BER per node;
+	// BitErrorRate(src, ...) is called in src's context (at launch), so
+	// each node refreshes only its own cache entry.
+	berEpoch []sim.Cycle // epoch the entry was computed for (-1 = never)
+	berCache []float64   // per-node injected BER
 }
 
 // New builds an injector for a network configuration. The rng must be a
@@ -141,12 +149,17 @@ func New(cfg Config, netCfg core.Config, rng *sim.RNG) *Injector {
 		panic(err)
 	}
 	inj := &Injector{
-		cfg:        cfg,
-		net:        netCfg,
-		baseQ:      optics.PaperLink().Budget().QFactor,
-		confirmRNG: rng.NewStream("confirm"),
-		berEpoch:   -1,
-		berCache:   make([]float64, netCfg.Nodes),
+		cfg:      cfg,
+		net:      netCfg,
+		baseQ:    optics.PaperLink().Budget().QFactor,
+		berEpoch: make([]sim.Cycle, netCfg.Nodes),
+		berCache: make([]float64, netCfg.Nodes),
+	}
+	confirmBase := rng.NewStream("confirm")
+	inj.confirmRNG = make([]*sim.RNG, netCfg.Nodes)
+	for i := range inj.confirmRNG {
+		inj.confirmRNG[i] = confirmBase.NewStream("node-" + strconv.Itoa(i))
+		inj.berEpoch[i] = -1
 	}
 	inj.drawVCSELFailures(rng.NewStream("vcsel"))
 	if cfg.Thermal.Enabled {
@@ -231,20 +244,22 @@ func (inj *Injector) berFor(node int, now sim.Cycle) float64 {
 	return ber
 }
 
-// BitErrorRate implements core.FaultModel. It serves from the per-epoch
-// cache; the cache is recomputed when the thermal ramp crosses an epoch
-// boundary (and exactly once when the ramp is off).
+// BitErrorRate implements core.FaultModel. It serves from a per-node
+// epoch cache: the network asks in the transmitting node's context, so
+// each node refreshes only its own entry — recomputed when the thermal
+// ramp crosses an epoch boundary, exactly once when the ramp is off.
 func (inj *Injector) BitErrorRate(src int, now sim.Cycle) float64 {
-	epoch := now / berEpochCycles
-	if !inj.cfg.Thermal.Enabled && inj.berEpoch >= 0 {
+	if !inj.cfg.Thermal.Enabled {
+		if inj.berEpoch[src] < 0 {
+			inj.berCache[src] = inj.berFor(src, 0)
+			inj.berEpoch[src] = 0
+		}
 		return inj.berCache[src]
 	}
-	if epoch != inj.berEpoch {
-		at := epoch * berEpochCycles
-		for i := range inj.berCache {
-			inj.berCache[i] = inj.berFor(i, at)
-		}
-		inj.berEpoch = epoch
+	epoch := now / berEpochCycles
+	if epoch != inj.berEpoch[src] {
+		inj.berCache[src] = inj.berFor(src, epoch*berEpochCycles)
+		inj.berEpoch[src] = epoch
 	}
 	return inj.berCache[src]
 }
@@ -256,12 +271,13 @@ func (inj *Injector) SlotExtension(src int, l core.Lane) int {
 }
 
 // DropConfirm implements core.FaultModel: whether this packet's
-// confirmation beam is lost.
+// confirmation beam is lost. The draw runs in the receiver's context and
+// comes from the receiver's own stream.
 func (inj *Injector) DropConfirm(src, dst int, now sim.Cycle) bool {
 	if inj.cfg.ConfirmDropProb == 0 { //lint:allow floateq zero-value-off sentinel; the guard also preserves RNG stream genealogy
 		return false
 	}
-	return inj.confirmRNG.Bool(inj.cfg.ConfirmDropProb)
+	return inj.confirmRNG[dst].Bool(inj.cfg.ConfirmDropProb)
 }
 
 // FailedVCSELs reports the total transmit VCSELs lost to aging.
@@ -291,15 +307,16 @@ func (inj *Injector) DegradedNodes() int {
 // afflicted (node, lane), so a trace file is self-describing about the
 // physical state the packets flew through. Nodes are walked in index
 // order and lanes meta-then-data, so the annotation order is
-// deterministic. A nil recorder is a no-op.
-func (inj *Injector) AnnotateTrace(rec *obs.Recorder) {
+// deterministic, and each annotation lands in the afflicted node's own
+// recorder. A nil recorder family is a no-op.
+func (inj *Injector) AnnotateTrace(rec *obs.Sharded) {
 	if rec == nil {
 		return
 	}
 	for node := 0; node < inj.net.Nodes; node++ {
 		for _, l := range [2]core.Lane{core.LaneMeta, core.LaneData} {
 			if n := inj.failed[l][node]; n > 0 {
-				rec.Emit(obs.Event{
+				rec.For(node).Emit(obs.Event{
 					Kind: obs.KindFault, Src: int32(node), Dst: -1,
 					Lane: int8(l), Class: uint8(l), Aux: int64(n),
 				})

@@ -28,6 +28,7 @@ var fixtureVirtualPaths = map[string]string{
 	"shardsafety": "fsoi/internal/mesh",
 	"units":       "fsoi/internal/power",
 	"nolookahead": "fsoi/internal/optnet",
+	"proxysched":  "fsoi/internal/corona",
 }
 
 // want is one expectation parsed from a fixture comment.

@@ -31,8 +31,11 @@ import (
 // must be derived from the delay fields charged at scheduling sites
 // (bare integer literals other than the 0/1 floor are flagged, as are
 // fields read by Lookahead but by nothing else in the package), and a
-// package that routes events through noc.ScheduleAt must declare a
-// Lookahead method at all.
+// package that routes events through noc.ScheduleAt — or resolves
+// per-node scheduling surfaces through sim.SchedulerFor, the windowed
+// runner's path — must declare a Lookahead method at all. The closure
+// rules follow both surfaces: proxy At/After resolve to the same
+// internal/sim method set the engine's do.
 type Shardsafety struct{}
 
 // Name implements Analyzer.
@@ -494,10 +497,13 @@ func checkLookaheads(p *Package) []Finding {
 		}
 	}
 
-	// A package that hands events to the sharded router must bound them.
+	// A package that hands events to the sharded router — or resolves
+	// per-node scheduling surfaces, the windowed runner's routing path —
+	// must bound its cross-shard slack with a declared lookahead.
 	if len(bodies) == 0 {
 		for _, f := range p.Files {
 			var hit ast.Node
+			var surface string
 			ast.Inspect(f, func(n ast.Node) bool {
 				if hit != nil {
 					return false
@@ -506,15 +512,21 @@ func checkLookaheads(p *Package) []Finding {
 				if !ok {
 					return true
 				}
-				if fn, ok := calleeObj(p, call).(*types.Func); ok &&
-					fn.Name() == "ScheduleAt" && pkgPathHasSuffix(fn.Pkg(), "internal/noc") {
-					hit = call
+				fn, ok := calleeObj(p, call).(*types.Func)
+				if !ok {
+					return true
+				}
+				switch {
+				case fn.Name() == "ScheduleAt" && pkgPathHasSuffix(fn.Pkg(), "internal/noc"):
+					hit, surface = call, "routes cross-node events through noc.ScheduleAt"
+				case fn.Name() == "SchedulerFor" && pkgPathHasSuffix(fn.Pkg(), "internal/sim"):
+					hit, surface = call, "resolves per-node schedulers through sim.SchedulerFor"
 				}
 				return true
 			})
 			if hit != nil {
 				out = append(out, finding(p, "shardsafety", hit,
-					"package routes cross-node events through noc.ScheduleAt but declares no Lookahead method; the sharded engine cannot size its epochs without one"))
+					"package %s but declares no Lookahead method; the sharded and windowed engines cannot size their windows without one", surface))
 				break
 			}
 		}

@@ -1,0 +1,16 @@
+// Package proxysched resolves per-node scheduling surfaces — the
+// windowed parallel engine's routing path — without declaring the
+// Lookahead window that bounds its cross-shard slack. Linted under the
+// virtual path fsoi/internal/corona, a simulation package.
+package proxysched
+
+import "fsoi/internal/sim"
+
+// Net schedules per-node work without bounding it.
+type Net struct {
+	engine sim.Scheduler
+}
+
+func (n *Net) deliver(node int, at sim.Cycle) {
+	sim.SchedulerFor(n.engine, node).At(at, func(sim.Cycle) {}) // want "shardsafety: package resolves per-node schedulers through sim.SchedulerFor but declares no Lookahead method"
+}

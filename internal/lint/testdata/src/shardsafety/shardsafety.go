@@ -125,3 +125,21 @@ func (n *Net) routedOK(node int, ns *state) {
 		ns.armed = true
 	})
 }
+
+// proxyHazard schedules through the per-node surface the windowed
+// engine hands out (sim.SchedulerFor): the closure rules must follow
+// the proxy exactly as they follow the engine.
+func (n *Net) proxyHazard(node int, ns *state) {
+	sched := sim.SchedulerFor(n.engine, node)
+	sched.After(3, func(sim.Cycle) { // want "shardsafety: scheduled closure writes through captured .ns."
+		ns.armed = true
+	})
+}
+
+// proxyReceiverOK mirrors receiverOK through the proxy surface: a
+// component scheduling on its own node's proxy mutates only itself.
+func (n *Net) proxyReceiverOK(node int) {
+	sim.SchedulerFor(n.engine, node).After(2, func(at sim.Cycle) {
+		n.count++
+	})
+}

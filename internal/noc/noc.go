@@ -160,6 +160,25 @@ func (l *LatencyStats) Record(p *Packet) {
 	l.Attempts += int64(1 + p.Retries)
 }
 
+// Merge folds other into l. Networks that keep per-node accumulators
+// (so every Record happens on the recording node's own shard) merge
+// them in node order at read time; the merge sequence is then a pure
+// function of the node count, so the aggregate is identical at every
+// shard and worker count.
+func (l *LatencyStats) Merge(other *LatencyStats) {
+	l.Queuing.Merge(&other.Queuing)
+	l.Scheduling.Merge(&other.Scheduling)
+	l.Network.Merge(&other.Network)
+	l.Resolution.Merge(&other.Resolution)
+	l.Total.Merge(&other.Total)
+	for i := range l.ByType {
+		l.ByType[i].Merge(&other.ByType[i])
+	}
+	l.Delivered += other.Delivered
+	l.Collisions += other.Collisions
+	l.Attempts += other.Attempts
+}
+
 // Breakdown returns the four mean components in figure order.
 func (l *LatencyStats) Breakdown() (queuing, scheduling, network, resolution float64) {
 	return l.Queuing.Mean(), l.Scheduling.Mean(), l.Network.Mean(), l.Resolution.Mean()

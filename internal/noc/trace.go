@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"fsoi/internal/sim"
@@ -86,6 +87,68 @@ func (t *Tracer) Entries() []TraceEntry {
 	out := make([]TraceEntry, 0, len(t.ring))
 	out = append(out, t.ring[t.next:]...)
 	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// ShardedTracer keeps one terminated-packet ring per node, each the
+// full requested size, so recording never crosses node (and therefore
+// shard) boundaries: deliveries are recorded at the destination, drops
+// at the source. Merged restores the single-ring view — the most
+// recent n terminations across all nodes in a canonical order — for
+// display.
+type ShardedTracer struct {
+	rings []*Tracer
+	n     int
+}
+
+// NewShardedTracer builds per-node rings of up to n entries each.
+func NewShardedTracer(nodes, n int) *ShardedTracer {
+	if n <= 0 {
+		n = 64
+	}
+	st := &ShardedTracer{rings: make([]*Tracer, nodes), n: n}
+	for i := range st.rings {
+		st.rings[i] = NewTracer(n)
+	}
+	return st
+}
+
+// For returns the ring owned by a node. A nil tracer returns nil, so
+// call sites keep the single nil-check idiom.
+func (t *ShardedTracer) For(node int) *Tracer {
+	if t == nil || node < 0 || node >= len(t.rings) {
+		return nil
+	}
+	return t.rings[node]
+}
+
+// Merged collapses the per-node rings into one ring of the requested
+// size: all retained entries sorted by (At, ID, Src) — a total order,
+// since packet IDs are unique — with the ring keeping the most recent
+// n. The sort key never mentions a shard, so the merged trace is
+// identical at every shard and worker count.
+func (t *ShardedTracer) Merged() *Tracer {
+	var all []TraceEntry
+	for _, r := range t.rings {
+		all = append(all, r.Entries()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		if all[i].ID != all[j].ID {
+			return all[i].ID < all[j].ID
+		}
+		return all[i].Src < all[j].Src
+	})
+	out := NewTracer(t.n)
+	for _, e := range all {
+		out.ring[out.next] = e
+		out.next = (out.next + 1) % len(out.ring)
+		if out.next == 0 {
+			out.full = true
+		}
+	}
 	return out
 }
 

@@ -57,6 +57,24 @@ func (g *Registry) Observe(class uint8, src, dst int, latency int64) {
 	h.Add(latency)
 }
 
+// Merge folds other into g. Histogram merges are exact bucket
+// addition, so the result is independent of merge order; per-node
+// registries merged in node order therefore aggregate identically at
+// every shard and worker count.
+func (g *Registry) Merge(other *Registry) {
+	for c := range g.byClass {
+		g.byClass[c].Merge(other.byClass[c])
+	}
+	for k, h := range other.byLink { // additive per-key merge: iteration order is immaterial
+		mine := g.byLink[k]
+		if mine == nil {
+			mine = stats.NewHistogram(registryWidth, registryBuckets)
+			g.byLink[k] = mine
+		}
+		mine.Merge(h)
+	}
+}
+
 // quantiles are the reported percentile points.
 var quantiles = []struct {
 	name string

@@ -1,0 +1,68 @@
+package obs
+
+import "sort"
+
+// Sharded is a per-node family of Recorders, the observability shape
+// the windowed parallel engine requires: every emission happens into
+// the emitting node's own recorder (deliveries and collisions at the
+// destination, injections and backoffs at the source), so no recorder
+// is ever touched from two shards. Merged restores the single-recorder
+// view in a canonical order for export.
+//
+// Each per-node recorder gets the full event limit; the merged view is
+// re-truncated to the limit, keeping the earliest events — the same
+// "head of the run" semantics the single Recorder's limit has.
+type Sharded struct {
+	recs  []*Recorder
+	limit int
+}
+
+// NewSharded builds per-node recorders, each bounded by limit (<= 0
+// means unbounded, like NewRecorder).
+func NewSharded(nodes, limit int) *Sharded {
+	s := &Sharded{recs: make([]*Recorder, nodes), limit: limit}
+	for i := range s.recs {
+		s.recs[i] = NewRecorder(limit)
+	}
+	return s
+}
+
+// For returns the recorder owned by a node. A nil *Sharded returns the
+// nil *Recorder, which is the disabled state — call sites keep the
+// single nil-check idiom. Out-of-range nodes (setup-time annotations
+// from components without a node identity) map to node 0's recorder.
+func (s *Sharded) For(node int) *Recorder {
+	if s == nil {
+		return nil
+	}
+	if node < 0 || node >= len(s.recs) {
+		node = 0
+	}
+	return s.recs[node]
+}
+
+// Merged collapses the per-node recorders into one: events
+// concatenated in node order, stably sorted by cycle, truncated to the
+// limit. Within a cycle the order is (node, that node's emission
+// order) — both partition-invariant — so the merged stream is
+// byte-identical at every shard and worker count. Lost events are
+// summed, plus whatever the re-truncation discards.
+func (s *Sharded) Merged() *Recorder {
+	if s == nil {
+		return nil
+	}
+	out := &Recorder{limit: s.limit}
+	for _, r := range s.recs {
+		out.events = append(out.events, r.Events()...)
+		out.lost += r.lost
+	}
+	sort.SliceStable(out.events, func(i, j int) bool {
+		return out.events[i].At < out.events[j].At
+	})
+	if s.limit > 0 && len(out.events) > s.limit {
+		out.lost += int64(len(out.events) - s.limit)
+		out.events = out.events[:s.limit]
+	}
+	out.sorted = true
+	return out
+}

@@ -82,3 +82,43 @@ func TestSharded256Conformance(t *testing.T) {
 		DrainCycles: 5000,
 	}.Run(t)
 }
+
+// TestWindowedConformance replays the paper's FSOI design on the
+// windowed parallel engine (shard.Windows): the transcript must be
+// byte-identical to the engine's own 1-worker replay at 2, 4, and 8
+// workers and across three partitions. This is the transport-level
+// twin of the full-system worker-invariance tests — it isolates the
+// network model from the coherence stack above it.
+func TestWindowedConformance(t *testing.T) {
+	fsoi, _ := optnet.Get("fsoi")
+	noctest.Harness{
+		Name: "fsoi-windowed",
+		Build: func(engine sim.Scheduler, rng *sim.RNG) noc.Network {
+			return fsoi.Build(16, engine, rng)
+		},
+		Nodes:          16,
+		Seed:           42,
+		Windowed:       []int{2, 4, 8},
+		WindowedShards: []int{4, 2, 8},
+	}.Run(t)
+}
+
+// TestWindowedConformance256 repeats the windowed replay at 256 nodes
+// and 16 shards — the scale the parallel engine exists for.
+func TestWindowedConformance256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node windowed conformance runs only without -short")
+	}
+	fsoi, _ := optnet.Get("fsoi")
+	noctest.Harness{
+		Name: "fsoi-windowed-256",
+		Build: func(engine sim.Scheduler, rng *sim.RNG) noc.Network {
+			return fsoi.Build(256, engine, rng)
+		},
+		Nodes:          256,
+		Seed:           42,
+		Windowed:       []int{4, 8},
+		WindowedShards: []int{16, 8},
+		DrainCycles:    30000,
+	}.Run(t)
+}

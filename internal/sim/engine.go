@@ -117,6 +117,36 @@ type Driver interface {
 	MaxQueueDepth() int
 }
 
+// NodeScheduler is optionally implemented by engines that expose a
+// per-node scheduling surface. The parallel windowed engine
+// (internal/sim/shard.Windows) returns a proxy whose At/After land on
+// the node's home shard and whose Handoff buffers cross-shard work for
+// the window barrier; the serial Engine and the exact sharded engine do
+// not implement it — on those, components keep using the engine
+// directly and ForNode is never asked for. Model code that wants to run
+// unchanged on every engine resolves its per-node scheduler once at
+// construction:
+//
+//	sched := sim.SchedulerFor(engine, node)
+//
+// and schedules everything through it.
+type NodeScheduler interface {
+	// ForNode returns the scheduling surface for a node's own events.
+	// The returned Scheduler must only be used from that node's
+	// execution context (its events and ticks).
+	ForNode(node int) Scheduler
+}
+
+// SchedulerFor resolves the scheduler a node's component should program
+// against: the node's proxy when the engine partitions nodes, the
+// engine itself otherwise.
+func SchedulerFor(engine Scheduler, node int) Scheduler {
+	if ns, ok := engine.(NodeScheduler); ok {
+		return ns.ForNode(node)
+	}
+	return engine
+}
+
 // Sharder is optionally implemented by engines that partition
 // components into node-group shards. Networks use it to hand a packet's
 // delivery (or confirmation) event to the destination node's shard;

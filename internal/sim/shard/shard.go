@@ -64,6 +64,14 @@ type Engine struct {
 	lookahead sim.Cycle
 	handoffs  uint64
 	underLA   uint64
+
+	// tops is an index-heap over the non-empty shards, ordered by each
+	// shard's head event under the global (at, seq) order; topPos maps a
+	// shard to its heap slot (-1 when its queue is empty). It replaces
+	// the O(K) linear scan over shard tops the merge loop used to do per
+	// event with an O(log K) fix-up per push/pop.
+	tops   []int
+	topPos []int
 }
 
 // Engine is a drop-in Driver and the repo's only Sharder.
@@ -78,7 +86,14 @@ func New(k int) *Engine {
 	if k < 1 {
 		panic("shard: engine needs at least one shard")
 	}
-	return &Engine{shards: make([]sim.Queue, k)}
+	e := &Engine{
+		shards: make([]sim.Queue, k),
+		topPos: make([]int, k),
+	}
+	for i := range e.topPos {
+		e.topPos[i] = -1
+	}
+	return e
 }
 
 // Shards reports the shard count.
@@ -164,6 +179,87 @@ func (e *Engine) push(k int, at sim.Cycle, fn func(now sim.Cycle)) {
 	if e.pending > e.maxDepth {
 		e.maxDepth = e.pending
 	}
+	e.topPushed(k)
+}
+
+// topLess orders two shards by their head events under the global
+// (at, seq) order. Both shards must be non-empty (they are in the
+// heap).
+func (e *Engine) topLess(a, b int) bool {
+	aAt, aSeq, _ := e.shards[a].Top()
+	bAt, bSeq, _ := e.shards[b].Top()
+	if aAt != bAt {
+		return aAt < bAt
+	}
+	return aSeq < bSeq
+}
+
+// topSwap exchanges two heap slots, keeping topPos consistent.
+func (e *Engine) topSwap(i, j int) {
+	e.tops[i], e.tops[j] = e.tops[j], e.tops[i]
+	e.topPos[e.tops[i]] = i
+	e.topPos[e.tops[j]] = j
+}
+
+// topUp sifts the shard at heap slot i toward the root and returns its
+// final slot.
+func (e *Engine) topUp(i int) int {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.topLess(e.tops[i], e.tops[p]) {
+			break
+		}
+		e.topSwap(i, p)
+		i = p
+	}
+	return i
+}
+
+// topDown sifts the shard at heap slot i toward the leaves.
+func (e *Engine) topDown(i int) {
+	n := len(e.tops)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && e.topLess(e.tops[c+1], e.tops[c]) {
+			c++
+		}
+		if !e.topLess(e.tops[c], e.tops[i]) {
+			break
+		}
+		e.topSwap(i, c)
+		i = c
+	}
+}
+
+// topPushed restores shard k's heap position after a push onto its
+// queue: an absent shard is inserted; an existing one can only have
+// moved earlier, so a sift toward the root suffices.
+func (e *Engine) topPushed(k int) {
+	if e.topPos[k] < 0 {
+		e.tops = append(e.tops, k)
+		e.topPos[k] = len(e.tops) - 1
+	}
+	e.topUp(e.topPos[k])
+}
+
+// topPopped restores the heap after shard k's head was popped: the new
+// head is later (sift down) or the queue emptied (remove the shard).
+func (e *Engine) topPopped(k int) {
+	i := e.topPos[k]
+	if e.shards[k].Len() == 0 {
+		last := len(e.tops) - 1
+		e.topSwap(i, last)
+		e.tops = e.tops[:last]
+		e.topPos[k] = -1
+		if i < last {
+			e.topDown(e.topUp(i))
+		}
+		return
+	}
+	e.topDown(i)
 }
 
 // Now reports the current cycle.
@@ -199,28 +295,19 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Step advances one cycle: fires due events across all shards in
-// global (at, seq) order via a k-way merge over the shard tops, then
-// ticks tickers in registration order. Each event and tick executes
-// with the cursor on its home shard, so nested At calls land there.
+// global (at, seq) order via the cached top-heap merge, then ticks
+// tickers in registration order. Each event and tick executes with the
+// cursor on its home shard, so nested At calls land there.
 func (e *Engine) Step() {
-	for {
-		best := -1
-		var bAt sim.Cycle
-		var bSeq uint64
-		for i := range e.shards {
-			at, seq, ok := e.shards[i].Top()
-			if !ok || at > e.now {
-				continue
-			}
-			if best < 0 || at < bAt || (at == bAt && seq < bSeq) {
-				best, bAt, bSeq = i, at, seq
-			}
-		}
-		if best < 0 {
+	for len(e.tops) > 0 {
+		k := e.tops[0]
+		at, _, _ := e.shards[k].Top()
+		if at > e.now {
 			break
 		}
-		e.cur = best
-		_, fn := e.shards[best].Pop()
+		e.cur = k
+		_, fn := e.shards[k].Pop()
+		e.topPopped(k)
 		e.pending--
 		e.fired++
 		fn(e.now)

@@ -213,6 +213,22 @@ func (h *Histogram) PercentileBound(frac float64) (bound int64, overflow bool) {
 	return int64(len(h.buckets)) * h.width, true
 }
 
+// Merge folds other into h. Both histograms must share a shape (width
+// and bucket count); bucket-wise addition is exact and commutative, so
+// merged results are independent of merge order. It panics on a shape
+// mismatch rather than resample.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.width != other.width || len(h.buckets) != len(other.buckets) {
+		panic("stats: histogram shape mismatch in Merge")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.over += other.over
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // CounterSet is a named bag of int64 counters with deterministic listing.
 type CounterSet struct {
 	m map[string]int64

@@ -103,7 +103,9 @@ func TestRecycleResetsPacketState(t *testing.T) {
 		t.Fatalf("recycle left state behind: %+v", *p)
 	}
 	tr := transport{s}
-	reused := tr.packetFor(coherence.Msg{Type: coherence.ReqSh, From: 3, To: 4})
+	// Free-lists are per source node: the retired packet went onto node
+	// 1's list (its Src), so node 1's next injection must reuse it.
+	reused := tr.packetFor(coherence.Msg{Type: coherence.ReqSh, From: 1, To: 4})
 	if reused != p {
 		t.Fatal("free-list did not hand back the recycled packet (LIFO reuse)")
 	}

@@ -78,10 +78,11 @@ func (f *subscriptionSync) Acquire(core int, id int, done func(now sim.Cycle)) {
 }
 
 // Release frees the lock; completion is local (the release packet is
-// confirmed by the network independently).
+// confirmed by the network independently), so the done event schedules
+// on the releasing core's own node.
 func (f *subscriptionSync) Release(core int, id int, done func(now sim.Cycle)) {
 	f.request(core, coherence.SyncRelease, id)
-	f.s.engine.After(1, done)
+	f.s.sched(core).After(1, done)
 }
 
 // Barrier arrives and waits for the release push.
@@ -189,7 +190,7 @@ func (f *coherentSync) Acquire(core int, id int, done func(now sim.Cycle)) {
 			}
 		}
 		l1.OnInvalidate(addr, wake)
-		f.s.engine.After(2500, wake)
+		f.s.sched(core).After(2500, wake)
 	}
 	attempt = func(now sim.Cycle) {
 		l1.AccessRetry(addr, false, func(at sim.Cycle) {
@@ -211,7 +212,7 @@ func (f *coherentSync) Acquire(core int, id int, done func(now sim.Cycle)) {
 			})
 		})
 	}
-	attempt(f.s.engine.Now())
+	attempt(f.s.sched(core).Now())
 }
 
 // Release writes the lock line, invalidating the spinners.
@@ -272,10 +273,10 @@ func (f *coherentSync) spinFlag(core, id, epoch int, done func(now sim.Cycle)) {
 				}
 			}
 			l1.OnInvalidate(addr, wake)
-			f.s.engine.After(2500, wake)
+			f.s.sched(core).After(2500, wake)
 		})
 	}
-	poll(f.s.engine.Now())
+	poll(f.s.sched(core).Now())
 }
 
 func (f *coherentSync) onBit(node int, tag uint64, value bool, now sim.Cycle) {}

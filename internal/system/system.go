@@ -86,7 +86,24 @@ type Config struct {
 	// register on their node's home shard and networks hand cross-node
 	// events to the owning shard inside the topology's declared
 	// lookahead discipline, which the engine meters.
+	//
+	// With ParWorkers > 0, Shards instead sets the windowed engine's
+	// shard count (defaulting to ParWorkers when left <= 1).
 	Shards int
+	// ParWorkers, when > 0, runs the simulation on the windowed parallel
+	// engine (internal/sim/shard.Windows): shards advance concurrently
+	// through lookahead-wide windows on a worker pool, with cross-shard
+	// events buffered and committed at each window barrier. The run is
+	// byte-identical at every worker count (ParWorkers 1 is the serial
+	// replay of the same schedule) and at every shard count, but is a
+	// *different* schedule from the serial engine: cross-node
+	// interactions land one lookahead later, exactly as the conservative
+	// window discipline requires. Only the FSOI network supports it —
+	// the model was restructured so every event executes in the context
+	// of the node whose state it touches — and the subscription sync
+	// fabric is required (coherent ll/sc spinning shares lock tables
+	// across nodes).
+	ParWorkers int
 	// ForceCoherentSync disables the §5.1 confirmation-channel sync path
 	// even when the network supports it (for the ll/sc ablation).
 	ForceCoherentSync bool
@@ -199,10 +216,18 @@ func (m Metrics) Speedup(baseline Metrics) float64 {
 }
 
 // System is one assembled CMP.
+//
+// Every piece of per-packet mutable state — the ordering tables, the
+// packet free-lists, the packet-ID counters, the observability sinks —
+// is indexed by the node whose execution context touches it, so the
+// assembly runs unchanged on the serial engine, the exact sharded
+// engine, and the windowed parallel engine.
 type System struct {
 	cfg      Config
 	engine   sim.Driver
-	shardEng *shard.Engine // non-nil when cfg.Shards > 1
+	shardEng *shard.Engine  // non-nil when cfg.Shards > 1 without ParWorkers
+	winEng   *shard.Windows // non-nil when cfg.ParWorkers > 0
+	la       sim.Cycle      // cross-node handback delay (the network's lookahead)
 	rng      *sim.RNG
 	net      noc.Network
 	fsoi     *core.Network
@@ -213,49 +238,63 @@ type System struct {
 	cores    []*cpu.Core
 	sync     syncFabric
 	injector *fault.Injector
-	finished int
-	pktID    uint64
-	tracer   *noc.Tracer
-	obsRec   *obs.Recorder
-	obsReg   *obs.Registry
+	finished int // owned by node 0: finish notices ride handbacks there
+	tracer   *noc.ShardedTracer
+	obsRec   *obs.Sharded
+	obsReg   []*obs.Registry // per destination node; merged in collect
 
-	// pktFree recycles retired noc.Packets so the transport's steady
-	// state allocates nothing per message. It is a plain slice,
-	// deliberately NOT a sync.Pool: pool reuse order depends on the Go
-	// scheduler and GC, which would let host-machine timing leak into
-	// pointer identities, while LIFO reuse from a slice is a pure
-	// function of simulated history and keeps runs byte-identical.
-	pktFree []*noc.Packet
+	// pktSeq counts packets injected per source node; a packet's ID is
+	// src+1 + nodes*seq — unique, nonzero, and a pure function of that
+	// node's own injection history, so IDs are identical at every shard
+	// and worker count.
+	pktSeq []uint64
+	// pktFree recycles retired noc.Packets per source node, so the
+	// transport's steady state allocates nothing per message. Plain
+	// slices, deliberately NOT sync.Pools: pool reuse order depends on
+	// the Go scheduler and GC, which would let host-machine timing leak
+	// into pointer identities, while LIFO reuse from the source node's
+	// own slice is a pure function of simulated history and keeps runs
+	// byte-identical. Every retirement site executes in the source
+	// node's context (a rejected send, a confirmation, a drop) except
+	// the electrical networks' delivery-time retirement, which only ever
+	// runs single-threaded.
+	pktFree [][]*noc.Packet
 
-	// Point-to-point ordering state (§4.4): one in-flight message per
-	// (src, dst, line); the rest wait here.
-	ordInFlight map[orderKey]bool
-	ordQueue    map[orderKey][]coherence.Msg
+	// Point-to-point ordering state (§4.4), indexed by source node: one
+	// in-flight message per (src, dst, line); the rest wait here.
+	ordInFlight []map[ordKey]bool
+	ordQueue    []map[ordKey][]coherence.Msg
 }
 
-// orderKey identifies one ordered message stream.
-type orderKey struct {
-	src, dst int
-	addr     cache.LineAddr
+// ordKey identifies one ordered message stream within its source node.
+type ordKey struct {
+	dst  int
+	addr cache.LineAddr
 }
+
+// sched resolves the scheduling surface for one node: the node's proxy
+// on the windowed engine, the engine itself otherwise.
+func (s *System) sched(node int) sim.Scheduler { return sim.SchedulerFor(s.engine, node) }
 
 // transport adapts the system to coherence.Transport.
 type transport struct{ s *System }
 
 // packetFor wraps a protocol message for the wire, reusing a retired
-// packet from the free-list when one is available.
+// packet from the source node's free-list when one is available.
 func (t transport) packetFor(m coherence.Msg) *noc.Packet {
 	s := t.s
-	s.pktID++
+	src := m.From
+	s.pktSeq[src]++
 	var p *noc.Packet
-	if n := len(s.pktFree); n > 0 {
-		p = s.pktFree[n-1]
-		s.pktFree[n-1] = nil
-		s.pktFree = s.pktFree[:n-1]
+	if free := s.pktFree[src]; len(free) > 0 {
+		n := len(free) - 1
+		p = free[n]
+		free[n] = nil
+		s.pktFree[src] = free[:n]
 	} else {
 		p = new(noc.Packet)
 	}
-	p.ID = s.pktID
+	p.ID = uint64(src) + 1 + uint64(s.cfg.Nodes)*s.pktSeq[src]
 	p.Src = m.From
 	p.Dst = m.To
 	p.Payload = m
@@ -279,15 +318,17 @@ func (t transport) packetFor(m coherence.Msg) *noc.Packet {
 
 // Send enforces the §4.4 point-to-point ordering invariant Table 2
 // assumes: at most one message per (source, destination, line) is in
-// flight; later ones queue at the source until the earlier is delivered.
-// On FSOI this is the confirmation-based serialization the paper
-// describes; on the mesh it models deterministic routing with ordered
-// per-class channels.
+// flight; later ones queue at the source until the earlier is known
+// delivered. On FSOI "known delivered" is the confirmation's arrival
+// back at the sender — the confirmation-based serialization the paper
+// describes — so the release runs in the source node's own context; on
+// the mesh it models deterministic routing with ordered per-class
+// channels and releases at delivery.
 func (t transport) Send(m coherence.Msg) bool {
 	s := t.s
-	key := orderKey{src: m.From, dst: m.To, addr: m.Addr}
-	if s.ordInFlight[key] {
-		s.ordQueue[key] = append(s.ordQueue[key], m)
+	key := ordKey{dst: m.To, addr: m.Addr}
+	if s.ordInFlight[m.From][key] {
+		s.ordQueue[m.From][key] = append(s.ordQueue[m.From][key], m)
 		return true
 	}
 	p := t.packetFor(m)
@@ -296,7 +337,7 @@ func (t transport) Send(m coherence.Msg) bool {
 		return false
 	}
 	s.observeInject(p)
-	s.ordInFlight[key] = true
+	s.ordInFlight[m.From][key] = true
 	return true
 }
 
@@ -327,20 +368,44 @@ func New(cfg Config) *System {
 		cfg:         cfg,
 		rng:         sim.NewRNG(cfg.Seed),
 		mems:        make(map[int]*memory.Controller),
-		ordInFlight: make(map[orderKey]bool),
-		ordQueue:    make(map[orderKey][]coherence.Msg),
+		la:          1,
+		pktSeq:      make([]uint64, cfg.Nodes),
+		pktFree:     make([][]*noc.Packet, cfg.Nodes),
+		ordInFlight: make([]map[ordKey]bool, cfg.Nodes),
+		ordQueue:    make([]map[ordKey][]coherence.Msg, cfg.Nodes),
 	}
-	if cfg.Shards > 1 {
+	for i := 0; i < cfg.Nodes; i++ {
+		s.ordInFlight[i] = make(map[ordKey]bool)
+		s.ordQueue[i] = make(map[ordKey][]coherence.Msg)
+	}
+	switch {
+	case cfg.ParWorkers > 0:
+		if cfg.Net != NetFSOI {
+			panic(fmt.Sprintf("system: ParWorkers requires the FSOI network (got %v): only its model keeps every event in the touched node's context", cfg.Net))
+		}
+		if !cfg.FSOI.Opt.BooleanSubscription || cfg.ForceCoherentSync {
+			panic("system: ParWorkers requires the subscription sync fabric; coherent ll/sc spinning shares lock tables across nodes")
+		}
+		k := cfg.Shards
+		if k < 2 {
+			k = cfg.ParWorkers
+		}
+		s.winEng = shard.NewWindows(k, cfg.ParWorkers)
+		s.winEng.AssignNodes(cfg.Nodes)
+		s.engine = s.winEng
+	case cfg.Shards > 1:
 		s.shardEng = shard.New(cfg.Shards)
 		s.shardEng.AssignNodes(cfg.Nodes)
 		s.engine = s.shardEng
-	} else {
+	default:
 		s.engine = sim.NewEngine()
 	}
 	dim := meshDim(cfg.Nodes)
 	tr := transport{s}
 	// onShard brackets a node's component construction so tickers and
-	// initial events register on the node's home shard; a no-op serially.
+	// initial events register on the node's home shard under the exact
+	// engine; the windowed engine routes through per-node proxies
+	// (s.sched) instead, and serially both are no-ops.
 	onShard := func(node int) {
 		if s.shardEng != nil {
 			s.shardEng.SetShard(s.shardEng.NodeShard(node))
@@ -385,14 +450,38 @@ func New(cfg Config) *System {
 	default:
 		panic("system: unknown network kind")
 	}
-	// The network is a global component; it ticks on shard 0 and hands
-	// per-node events to their owning shards through noc.ScheduleAt. Its
-	// declared lookahead sizes the engine's cross-shard window.
-	s.engine.Register(sim.TickFunc(s.net.Tick))
+	if la, ok := s.net.(noc.Lookaheader); ok && la.Lookahead() > 1 {
+		s.la = la.Lookahead()
+	}
 	if s.shardEng != nil {
 		if la, ok := s.net.(noc.Lookaheader); ok {
 			s.shardEng.SetLookahead(la.Lookahead())
 		}
+	}
+	if s.winEng != nil {
+		s.winEng.SetLookahead(s.la)
+	}
+	if s.fsoi != nil {
+		// FSOI has no global tick sweep: each node's slice of the network
+		// ticks in that node's own shard context, in node order, so the
+		// sweep is the serial Tick loop with accurate shard accounting —
+		// required by the windowed engine (whose scheduling surface is
+		// per-node proxies) and kept on the serial and exact engines so
+		// all three run the same registration sequence.
+		for i := 0; i < cfg.Nodes; i++ {
+			onShard(i)
+			id := i
+			s.sched(i).Register(sim.TickFunc(func(now sim.Cycle) { s.fsoi.TickNode(id, now) }))
+		}
+		if s.shardEng != nil {
+			s.shardEng.SetShard(0)
+		}
+	} else {
+		// The electrical and crossbar networks tick globally; on the
+		// exact engine the tick runs on shard 0 and hands per-node events
+		// to their owning shards through noc.ScheduleAt. The declared
+		// lookahead sizes the engine's cross-shard window.
+		s.engine.Register(sim.TickFunc(s.net.Tick))
 	}
 
 	home := func(a cache.LineAddr) int { return int(uint64(a) % uint64(cfg.Nodes)) }
@@ -401,12 +490,12 @@ func New(cfg Config) *System {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		onShard(i)
-		l1 := coherence.NewL1(i, cfg.L1, s.engine, s.rng.NewStream(fmt.Sprintf("l1-%d", i)), tr, home)
+		l1 := coherence.NewL1(i, cfg.L1, s.sched(i), s.rng.NewStream(fmt.Sprintf("l1-%d", i)), tr, home)
 		s.l1s = append(s.l1s, l1)
-		s.engine.Register(l1)
-		dir := coherence.NewDirectory(i, cfg.Dir, s.engine, tr, memNode)
+		s.sched(i).Register(l1)
+		dir := coherence.NewDirectory(i, cfg.Dir, s.sched(i), tr, memNode)
 		s.dirs = append(s.dirs, dir)
-		s.engine.Register(dir)
+		s.sched(i).Register(dir)
 	}
 	for c := 0; c < cfg.Memory.Channels; c++ {
 		node := attach[c]
@@ -414,7 +503,7 @@ func New(cfg Config) *System {
 			continue
 		}
 		onShard(node)
-		ctl := memory.NewController(node, cfg.Memory, s.engine, func(m coherence.Msg) {
+		ctl := memory.NewController(node, cfg.Memory, s.sched(node), func(m coherence.Msg) {
 			if !tr.Send(m) {
 				// Memory replies retry through the engine until the NIC
 				// accepts them.
@@ -428,16 +517,23 @@ func New(cfg Config) *System {
 	}
 
 	if cfg.TracePackets > 0 {
-		s.tracer = noc.NewTracer(cfg.TracePackets)
+		s.tracer = noc.NewShardedTracer(cfg.Nodes, cfg.TracePackets)
 	}
 	if cfg.Observe {
-		s.obsRec = obs.NewRecorder(cfg.ObserveLimit)
-		s.obsReg = obs.NewRegistry()
-		// Any network exposing the observer hook gets the recorder: FSOI
-		// emits the full per-attempt lifecycle, the crossbar family emits
-		// tx-start at arbitration grant.
-		if o, ok := s.net.(interface{ SetObserver(r *obs.Recorder) }); ok {
+		s.obsRec = obs.NewSharded(cfg.Nodes, cfg.ObserveLimit)
+		s.obsReg = make([]*obs.Registry, cfg.Nodes)
+		for i := range s.obsReg {
+			s.obsReg[i] = obs.NewRegistry()
+		}
+		// Any network exposing an observer hook gets the recorder: FSOI
+		// emits the full per-attempt lifecycle into per-node recorders,
+		// the crossbar family (single-threaded by construction) emits
+		// tx-start at arbitration grant into node 0's.
+		switch o := s.net.(type) {
+		case interface{ SetObserver(r *obs.Sharded) }:
 			o.SetObserver(s.obsRec)
+		case interface{ SetObserver(r *obs.Recorder) }:
+			o.SetObserver(s.obsRec.For(0))
 		}
 		if s.injector != nil {
 			s.injector.AnnotateTrace(s.obsRec)
@@ -458,89 +554,102 @@ func New(cfg Config) *System {
 	return s
 }
 
-// retrySend keeps attempting a message until the network accepts it.
+// retrySend keeps attempting a message until the network accepts it,
+// always from the source node's own context.
 func (s *System) retrySend(m coherence.Msg) {
-	s.engine.After(1, func(sim.Cycle) {
+	s.sched(m.From).After(1, func(sim.Cycle) {
 		if !(transport{s}).Send(m) {
 			s.retrySend(m)
 		}
 	})
 }
 
-// orderedDone releases the (src, dst, line) stream after a delivery and
-// launches the next queued message, retrying through the engine when the
-// NIC pushes back.
+// orderedDone releases the (src, dst, line) stream and launches the next
+// queued message, retrying through the engine when the NIC pushes back.
+// It must run in the source node's context: at the confirmation or drop
+// on FSOI, at delivery (single-threaded by construction) elsewhere.
 func (s *System) orderedDone(m coherence.Msg) {
-	key := orderKey{src: m.From, dst: m.To, addr: m.Addr}
-	q := s.ordQueue[key]
+	key := ordKey{dst: m.To, addr: m.Addr}
+	q := s.ordQueue[m.From][key]
 	if len(q) == 0 {
-		delete(s.ordInFlight, key)
-		delete(s.ordQueue, key)
+		delete(s.ordInFlight[m.From], key)
+		delete(s.ordQueue[m.From], key)
 		return
 	}
 	next := q[0]
-	s.ordQueue[key] = q[1:]
-	s.launchOrdered(key, next)
+	s.ordQueue[m.From][key] = q[1:]
+	s.launchOrdered(next)
 }
 
-func (s *System) launchOrdered(key orderKey, m coherence.Msg) {
+func (s *System) launchOrdered(m coherence.Msg) {
 	p := (transport{s}).packetFor(m)
 	if s.net.Send(p) {
 		s.observeInject(p)
 		return
 	}
 	s.recycle(p)
-	s.engine.After(1, func(sim.Cycle) { s.launchOrdered(key, m) })
+	s.sched(m.From).After(1, func(sim.Cycle) { s.launchOrdered(m) })
 }
 
-// observeInject records a packet's acceptance by the network. Injection
-// time is the current engine cycle: Send only succeeds synchronously, so
-// no separate timestamp needs to ride on the packet.
+// observeInject records a packet's acceptance by the network, in the
+// source node's context. Injection time is the source's current cycle:
+// Send only succeeds synchronously, so no separate timestamp needs to
+// ride on the packet.
 func (s *System) observeInject(p *noc.Packet) {
 	if s.obsRec == nil {
 		return
 	}
-	s.obsRec.Emit(obs.Event{
-		At: s.engine.Now(), Kind: obs.KindInject, ID: p.ID,
+	s.obsRec.For(p.Src).Emit(obs.Event{
+		At: s.sched(p.Src).Now(), Kind: obs.KindInject, ID: p.ID,
 		Src: int32(p.Src), Dst: int32(p.Dst),
 		Class: uint8(p.Type), Lane: obs.LaneNone,
 	})
 }
 
-// recycle retires a packet to the free-list. Callers must guarantee the
-// network holds no further reference: a rejected Send, a non-FSOI
-// delivery (the networks' last touch), or an FSOI confirmation (which
-// fires strictly after delivery, exactly once per packet — a duplicate
-// re-delivery only ever re-confirms when the earlier confirmation beam
-// was dropped, and that earlier confirmation never ran this callback).
-// Packets are scrubbed here, at retirement, not lazily at reuse: the
-// historical code zeroed only in packetFor, which left the Payload Msg
-// pinned for the whole idle period and meant any new reuse path that
-// forgot the reset would hand out a packet still carrying the previous
-// message's retry count and cycle stamps.
+// recycle retires a packet to its source node's free-list. Callers must
+// guarantee the network holds no further reference: a rejected Send, a
+// non-FSOI delivery (the networks' last touch), or an FSOI confirmation
+// (which fires strictly after delivery, exactly once per packet — a
+// duplicate re-delivery only ever re-confirms when the earlier
+// confirmation beam was dropped, and that earlier confirmation never ran
+// this callback). Packets are scrubbed here, at retirement, not lazily
+// at reuse: zeroing only in packetFor would leave the Payload Msg pinned
+// for the whole idle period and would let any new reuse path that forgot
+// the reset hand out a packet still carrying the previous message's
+// retry count and cycle stamps.
 func (s *System) recycle(p *noc.Packet) {
+	src := p.Src
 	*p = noc.Packet{}
-	s.pktFree = append(s.pktFree, p)
+	s.pktFree[src] = append(s.pktFree[src], p)
 }
 
-// deliver routes an arriving packet to its destination controller.
+// deliver routes an arriving packet to its destination controller. It
+// runs in the destination node's context; everything it touches —
+// tracer ring, recorder, registry, the controller itself — is the
+// destination's own.
 func (s *System) deliver(p *noc.Packet, now sim.Cycle) {
 	m, ok := p.Payload.(coherence.Msg)
 	if !ok {
 		panic("system: foreign payload on the interconnect")
 	}
-	s.orderedDone(m)
+	if s.fsoi == nil {
+		// Electrical networks have no confirmation; delivery is the
+		// moment the ordered stream releases (deterministic routing
+		// keeps per-class channels ordered). FSOI streams release at the
+		// confirmation instead — see onConfirm.
+		s.orderedDone(m)
+	}
 	if s.tracer != nil {
-		s.tracer.Record(p, now)
+		s.tracer.For(p.Dst).Record(p, now)
 	}
 	if s.obsRec != nil {
 		lat := p.TotalLatency()
-		s.obsRec.Emit(obs.Event{
+		s.obsRec.For(p.Dst).Emit(obs.Event{
 			At: now, Kind: obs.KindDeliver, ID: p.ID, Aux: lat,
 			Src: int32(p.Src), Dst: int32(p.Dst), Attempt: int32(p.Retries),
 			Class: uint8(p.Type), Lane: obs.LaneNone,
 		})
-		s.obsReg.Observe(uint8(p.Type), p.Src, p.Dst, lat)
+		s.obsReg[p.Dst].Observe(uint8(p.Type), p.Src, p.Dst, lat)
 	}
 	switch m.Type {
 	case coherence.ReqMem, coherence.MemWrite:
@@ -566,36 +675,40 @@ func (s *System) deliver(p *noc.Packet, now sim.Cycle) {
 	}
 }
 
-// onConfirm handles sender-side confirmations (FSOI): an elided-ack Inv's
-// confirmation is the invalidation ack.
+// onConfirm handles sender-side confirmations (FSOI), in the source
+// node's context: an elided-ack Inv's confirmation is the invalidation
+// ack, and the confirmation is the sender's proof of delivery that
+// releases the packet's ordered (src, dst, line) stream.
 func (s *System) onConfirm(p *noc.Packet, now sim.Cycle) {
 	if m, ok := p.Payload.(coherence.Msg); ok {
 		if m.Type == coherence.Inv && m.Value {
 			s.dirs[m.From].OnInvConfirm(m.Addr, now)
 		}
+		s.orderedDone(m)
 	}
 	s.recycle(p)
 }
 
 // onDrop handles the FSOI network permanently giving up on a packet
-// (Config.FSOI.MaxRetries). The ordered (src, dst, line) stream is
-// released so later messages do not wedge behind the corpse, the fate
-// lands in the ring buffer with a terminal DROPPED status, and the
-// packet retires to the free-list — a drop is the network's last touch.
-// The coherence message itself is lost by design; a run with drops may
-// legitimately report Finished=false, which is exactly the resilience
-// signal the fault experiments measure.
+// (Config.FSOI.MaxRetries), in the source node's context. The ordered
+// (src, dst, line) stream is released so later messages do not wedge
+// behind the corpse, the fate lands in the ring buffer with a terminal
+// DROPPED status, and the packet retires to the free-list — a drop is
+// the network's last touch. The coherence message itself is lost by
+// design; a run with drops may legitimately report Finished=false,
+// which is exactly the resilience signal the fault experiments measure.
 func (s *System) onDrop(p *noc.Packet, now sim.Cycle) {
 	if m, ok := p.Payload.(coherence.Msg); ok {
 		s.orderedDone(m)
 	}
 	if s.tracer != nil {
-		s.tracer.RecordStatus(p, now, noc.StatusDropped)
+		s.tracer.For(p.Src).RecordStatus(p, now, noc.StatusDropped)
 	}
 	s.recycle(p)
 }
 
-// onBit routes confirmation-lane booleans to the sync fabric.
+// onBit routes confirmation-lane booleans to the sync fabric; it runs
+// in the receiving node's context.
 func (s *System) onBit(src, dst int, tag uint64, value bool, now sim.Cycle) {
 	s.sync.onBit(dst, tag, value, now)
 }
@@ -614,12 +727,7 @@ func (s *System) Run(app workload.App) Metrics {
 			s.shardEng.SetShard(s.shardEng.NodeShard(i))
 		}
 		stream := workload.NewStream(app, i, s.cfg.Nodes, s.cfg.Seed)
-		c := cpu.New(i, s.cfg.Core, s.engine, s.l1s[i], stream, s.sync, func(core int, at sim.Cycle) {
-			s.finished++
-			if s.finished == s.cfg.Nodes {
-				s.engine.Stop()
-			}
-		})
+		c := cpu.New(i, s.cfg.Core, s.sched(i), s.l1s[i], stream, s.sync, s.onCoreFinish)
 		s.cores = append(s.cores, c)
 		c.Start()
 	}
@@ -627,7 +735,24 @@ func (s *System) Run(app workload.App) Metrics {
 		s.shardEng.SetShard(0)
 	}
 	s.engine.Run(s.cfg.MaxCycles)
+	if s.winEng != nil {
+		s.winEng.Close()
+	}
 	return s.collect(app.Name)
+}
+
+// onCoreFinish counts thread completions and stops the engine when the
+// last one lands. The counter is owned by node 0: each finishing core
+// hands its notice there one lookahead ahead, so the count never races
+// and the stop commits at a window barrier — the final cycle count is
+// identical at every shard and worker count.
+func (s *System) onCoreFinish(core int, at sim.Cycle) {
+	noc.ScheduleAt(s.sched(core), 0, at+s.la, func(sim.Cycle) {
+		s.finished++
+		if s.finished == s.cfg.Nodes {
+			s.sched(0).Stop()
+		}
+	})
 }
 
 // collect assembles the metrics of a finished run.
@@ -649,8 +774,8 @@ func (s *System) collect(app string) Metrics {
 		m.FSOI = s.fsoi.Stats()
 		m.DroppedPackets = m.FSOI.Dropped[core.LaneMeta] + m.FSOI.Dropped[core.LaneData]
 	}
-	m.Obs = s.obsRec
-	m.ObsRegistry = s.obsReg
+	m.Obs = s.obsRec.Merged()
+	m.ObsRegistry = s.ObsRegistry()
 	if s.injector != nil {
 		m.FaultCounters = s.injector.Counters()
 		st := s.fsoi.Stats()
@@ -677,8 +802,8 @@ func (s *System) collect(app string) Metrics {
 	for _, d := range s.dirs {
 		l2acc += d.Stats().Requests + d.Stats().MemReads
 	}
-	m.MetaPackets = int64(s.net.LatencyStats().ByType[noc.Meta].N())
-	m.DataPackets = int64(s.net.LatencyStats().ByType[noc.Data].N())
+	m.MetaPackets = int64(m.Latency.ByType[noc.Meta].N())
+	m.DataPackets = int64(m.Latency.ByType[noc.Data].N())
 
 	act := power.Activity{
 		Cycles:     m.Cycles,
@@ -688,7 +813,7 @@ func (s *System) collect(app string) Metrics {
 		L2Accesses: l2acc,
 	}
 	if s.fsoi != nil {
-		st := s.fsoi.Stats()
+		st := m.FSOI
 		bitsTx := st.Attempts[core.LaneMeta]*72 + st.Attempts[core.LaneData]*360
 		act.OpticalBitsTx = bitsTx
 		act.OpticalBitsRx = bitsTx
@@ -706,7 +831,7 @@ func (s *System) collect(app string) Metrics {
 		} else {
 			// Ideal networks: charge hop activity as if routed, so the
 			// energy comparison stays conservative.
-			act.FlitHops = estimateFlitHops(s.net.LatencyStats(), s.cfg.Nodes)
+			act.FlitHops = estimateFlitHops(m.Latency, s.cfg.Nodes)
 		}
 		act.Routers = s.cfg.Nodes
 		m.Energy = s.cfg.Power.MeshEnergy(act)
@@ -751,23 +876,48 @@ func (s *System) Diagnose() string {
 // Engine exposes the simulation engine (tests, fsoisim -profile).
 func (s *System) Engine() sim.Driver { return s.engine }
 
+// Lookahead reports the cross-node handback delay the assembly honours
+// for its own scheduling (the finish-notice handbacks): the network's
+// declared lookahead, floor 1.
+func (s *System) Lookahead() sim.Cycle { return s.la }
+
 // ShardEngine exposes the exact sharded engine when Config.Shards > 1
 // selected it, for the handoff/lookahead meters; nil serially.
 func (s *System) ShardEngine() *shard.Engine { return s.shardEng }
 
+// WindowEngine exposes the windowed parallel engine when
+// Config.ParWorkers > 0 selected it, for the window/handoff/stall
+// meters; nil otherwise.
+func (s *System) WindowEngine() *shard.Windows { return s.winEng }
+
 // L1 exposes a node's L1 controller (tests).
 func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
 
-// Trace exposes the delivered-packet ring buffer (nil unless
-// Config.TracePackets was set).
-func (s *System) Trace() *noc.Tracer { return s.tracer }
+// Trace exposes the delivered-packet ring buffer, merged across nodes
+// in canonical order (nil unless Config.TracePackets was set).
+func (s *System) Trace() *noc.Tracer {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Merged()
+}
 
-// Obs exposes the lifecycle-event recorder (nil unless Config.Observe).
-func (s *System) Obs() *obs.Recorder { return s.obsRec }
+// Obs exposes the lifecycle-event recorder, merged across nodes in
+// canonical order (nil unless Config.Observe).
+func (s *System) Obs() *obs.Recorder { return s.obsRec.Merged() }
 
-// ObsRegistry exposes the percentile latency registry (nil unless
-// Config.Observe).
-func (s *System) ObsRegistry() *obs.Registry { return s.obsReg }
+// ObsRegistry exposes the percentile latency registry, merged across
+// nodes (nil unless Config.Observe).
+func (s *System) ObsRegistry() *obs.Registry {
+	if s.obsReg == nil {
+		return nil
+	}
+	out := obs.NewRegistry()
+	for _, g := range s.obsReg {
+		out.Merge(g)
+	}
+	return out
+}
 
 // CoreStats exposes a core's counters (tests, diagnostics).
 func (s *System) CoreStats(i int) *cpu.Stats { return s.cores[i].Stats() }
