@@ -34,6 +34,7 @@ func main() {
 	traceFile := flag.String("tracefile", "", "record packet-lifecycle events and write them as JSON Lines (read with cmd/fsoitrace)")
 	chromeTrace := flag.String("chrometrace", "", "record packet-lifecycle events and write a Chrome trace-event file (chrome://tracing, Perfetto)")
 	profilePath := flag.String("profile", "", "write a host CPU profile (pprof) of the run and print engine counters")
+	detect := flag.Bool("detect", false, "run the windowed contention detector and print its report (implies observation)")
 	shards := flag.Int("shards", 0, "run on the exact sharded engine with N shards (output is byte-identical to serial; 0/1 = serial engine)")
 	par := flag.Int("par", 0, "run on the windowed parallel engine with N workers (FSOI only; byte-identical across worker/shard counts; combine with -shards to set the partition, default N shards)")
 	canonicalPath := flag.String("canonical", "", "write the canonical metric listing to a file (- for stdout), the byte-comparison surface of the equivalence CI")
@@ -96,6 +97,9 @@ func main() {
 	if *traceFile != "" || *chromeTrace != "" {
 		cfg.Observe = true
 	}
+	if *detect {
+		cfg.Detect = true
+	}
 	if *shards > 0 {
 		cfg.Shards = *shards
 	}
@@ -151,6 +155,10 @@ func main() {
 	if m.DroppedPackets > 0 {
 		fmt.Printf("dropped             %d packets abandoned after retry exhaustion\n", m.DroppedPackets)
 	}
+	if m.AdversaryNodes > 0 {
+		fmt.Printf("adversaries         %d hostile nodes (%d spoofed headers, %d starved confirms), honest cores finished at cycle %d\n",
+			m.AdversaryNodes, m.FSOI.SpoofedHeaders, m.FSOI.StarvedConfirms, m.HonestFinish)
+	}
 	if *trace > 0 {
 		fmt.Printf("\nlast %d packets:\n%s", *trace, s.Trace().String())
 	}
@@ -164,6 +172,10 @@ func main() {
 		fmt.Print(s.ObsRegistry().String())
 		writeTrace(*traceFile, rec, obs.WriteJSONL)
 		writeTrace(*chromeTrace, rec, obs.WriteChromeTrace)
+	}
+	if m.Detection != nil {
+		fmt.Println()
+		fmt.Print(m.Detection.Table())
 	}
 	if *profilePath != "" {
 		e := s.Engine()

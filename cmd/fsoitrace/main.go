@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"fsoi/internal/obs"
+	"fsoi/internal/sim"
 	"fsoi/internal/stats"
 )
 
@@ -56,9 +57,10 @@ type analysis struct {
 	truncated  int64
 	maxNode    int
 	lines      int64
+	events     []obs.Event // rebuilt events, only when detection is on
 }
 
-func analyze(r io.Reader) (*analysis, error) {
+func analyze(r io.Reader, keepEvents bool) (*analysis, error) {
 	a := &analysis{
 		byKind:     make(map[string]int64),
 		collisions: make(map[pair]int64),
@@ -91,6 +93,14 @@ func analyze(r io.Reader) (*analysis, error) {
 		}
 		if l.Dst > a.maxNode {
 			a.maxNode = l.Dst
+		}
+		if keepEvents {
+			if k, ok := obs.ParseKind(l.Ev); ok {
+				a.events = append(a.events, obs.Event{
+					At: sim.Cycle(l.At), Kind: k, ID: l.ID, Aux: l.Aux,
+					Src: int32(l.Src), Dst: int32(l.Dst), Attempt: int32(l.Attempt),
+				})
+			}
 		}
 		switch l.Ev {
 		case "collision":
@@ -226,6 +236,8 @@ func (a *analysis) retryCDF() string {
 
 func main() {
 	top := flag.Int("top", 16, "rows in the busiest-links and busiest-pairs tables (<= 0: all)")
+	detect := flag.Bool("detect", false, "run the windowed contention detector over the trace (single-run traces only)")
+	window := flag.Int64("window", 0, "detector window length in cycles (0 = default)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -239,7 +251,7 @@ func main() {
 		defer f.Close()
 		in, name = f, flag.Arg(0)
 	}
-	a, err := analyze(in)
+	a, err := analyze(in, *detect)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsoitrace:", err)
 		os.Exit(1)
@@ -265,5 +277,13 @@ func main() {
 	fmt.Print(a.reg.LinkTable(*top))
 	if a.drops > 0 {
 		fmt.Printf("\n%d packets DROPPED after retry exhaustion\n", a.drops)
+	}
+	if *detect {
+		fmt.Println("\ncontention anomaly detection")
+		if a.runs > 1 {
+			fmt.Printf("WARNING: %d runs in one file; detection windows assume a single run's timeline\n", a.runs)
+		}
+		report := obs.Detect(a.events, obs.DetectorConfig{WindowCycles: *window})
+		fmt.Print(report.Table())
 	}
 }

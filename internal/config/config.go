@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"os"
 
+	"fsoi/internal/adversary"
 	"fsoi/internal/core"
 	"fsoi/internal/fault"
 	"fsoi/internal/optnet"
+	"fsoi/internal/sim"
 	"fsoi/internal/system"
 	"fsoi/internal/thermal"
 )
@@ -41,6 +43,15 @@ type Spec struct {
 	// Faults switches on physical-fault injection (FSOI only); nil
 	// injects nothing and keeps runs bit-identical to fault-free builds.
 	Faults *FaultSpec `json:"faults,omitempty"`
+
+	// Adversaries assigns hostile workload streams to nodes (FSOI only);
+	// an empty list keeps runs bit-identical to adversary-free builds.
+	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+
+	// Detect switches on the windowed contention detector (implies
+	// observation); DetectWindow overrides its window length in cycles.
+	Detect       bool  `json:"detect,omitempty"`
+	DetectWindow int64 `json:"detect_window,omitempty"`
 
 	// Memory system.
 	MemoryGBps float64 `json:"memory_gbps,omitempty"`
@@ -87,6 +98,36 @@ type FaultSpec struct {
 	ThermalPowerW    float64 `json:"thermal_power_w,omitempty"`
 	ThermalTauCycles float64 `json:"thermal_tau_cycles,omitempty"`
 	DroopDBPerK      float64 `json:"droop_db_per_k,omitempty"`
+}
+
+// AdversarySpec is the serializable view of adversary.Spec: one hostile
+// node, its role, victim set, attack intensity in (0,1), and optional
+// activity window / operation budget.
+type AdversarySpec struct {
+	Role      string  `json:"role"` // jammer | spoofer | starver
+	Node      int     `json:"node"`
+	Victims   []int   `json:"victims"`
+	Intensity float64 `json:"intensity"`
+	Start     int64   `json:"start,omitempty"`
+	Stop      int64   `json:"stop,omitempty"`
+	Ops       int     `json:"ops,omitempty"`
+}
+
+// build converts the spec into an adversary.Spec.
+func (a AdversarySpec) build() (adversary.Spec, error) {
+	role, ok := adversary.ParseRole(a.Role)
+	if !ok {
+		return adversary.Spec{}, fmt.Errorf("config: unknown adversary role %q", a.Role)
+	}
+	return adversary.Spec{
+		Role:      role,
+		Node:      a.Node,
+		Victims:   a.Victims,
+		Intensity: a.Intensity,
+		Start:     sim.Cycle(a.Start),
+		Stop:      sim.Cycle(a.Stop),
+		Ops:       a.Ops,
+	}, nil
 }
 
 // coolings maps spec names to thermal technologies.
@@ -219,6 +260,22 @@ func (s Spec) Build() (system.Config, error) {
 			return system.Config{}, err
 		}
 		cfg.Fault = fc
+	}
+	for _, a := range s.Adversaries {
+		sp, err := a.build()
+		if err != nil {
+			return system.Config{}, err
+		}
+		cfg.Adversaries = append(cfg.Adversaries, sp)
+	}
+	if err := adversary.Validate(cfg.Adversaries, cfg.Nodes); len(cfg.Adversaries) > 0 && err != nil {
+		return system.Config{}, fmt.Errorf("config: %w", err)
+	}
+	if s.Detect {
+		cfg.Detect = true
+	}
+	if s.DetectWindow > 0 {
+		cfg.DetectWindow = s.DetectWindow
 	}
 	if s.Optimizations != nil {
 		o := s.Optimizations

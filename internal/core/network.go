@@ -120,10 +120,18 @@ type Stats struct {
 	TimeoutRetransmits    int64 // retransmissions launched by the confirmation timeout
 	DuplicateDeliveries   int64 // re-received packets discarded at the receiver
 	DegradedTransmissions int64 // attempts stretched by failed VCSELs
+
+	// Adversarial-traffic counters (zero unless an AdversaryModel is
+	// attached) and backoff-depth metering (always on — the detection
+	// layer's baseline needs it on honest runs too).
+	SpoofedHeaders  int64           // arrivals misdetected as collisions by forged PID headers
+	StarvedConfirms int64           // confirmation beams suppressed by a starver
+	MaxBackoffDepth [numLanes]int64 // deepest attempt count any transmission reached
 }
 
-// add folds o into s; integer addition is exact and commutative, so the
-// per-node tallies aggregate identically at every shard and worker count.
+// add folds o into s; integer addition is exact and commutative, and the
+// depth fields merge by max (also commutative), so the per-node tallies
+// aggregate identically at every shard and worker count.
 func (s *Stats) add(o *Stats) {
 	for l := 0; l < int(numLanes); l++ {
 		s.Attempts[l] += o.Attempts[l]
@@ -132,6 +140,9 @@ func (s *Stats) add(o *Stats) {
 		s.Delivered[l] += o.Delivered[l]
 		s.SlotsObserved[l] += o.SlotsObserved[l]
 		s.Dropped[l] += o.Dropped[l]
+		if o.MaxBackoffDepth[l] > s.MaxBackoffDepth[l] {
+			s.MaxBackoffDepth[l] = o.MaxBackoffDepth[l]
+		}
 	}
 	for k := range s.DataByKind {
 		s.DataByKind[k] += o.DataByKind[k]
@@ -149,6 +160,8 @@ func (s *Stats) add(o *Stats) {
 	s.TimeoutRetransmits += o.TimeoutRetransmits
 	s.DuplicateDeliveries += o.DuplicateDeliveries
 	s.DegradedTransmissions += o.DegradedTransmissions
+	s.SpoofedHeaders += o.SpoofedHeaders
+	s.StarvedConfirms += o.StarvedConfirms
 }
 
 // TransmissionProbability reports attempts per node per slot for a lane,
@@ -202,8 +215,10 @@ type Network struct {
 	stats     []Stats
 	nodes     []*nodeState
 	conf      *confLane
-	ber       float64    // per-bit error probability on the signaling chain
-	fault     FaultModel // nil unless an injector is attached
+	ber       float64        // per-bit error probability on the signaling chain
+	fault     FaultModel     // nil unless an injector is attached
+	adv       AdversaryModel // nil unless an attack roster is attached
+	linkObs   []LinkObserver // per-node contention sinks; nil unless tracking is on
 }
 
 // New builds an FSOI network over the engine; it panics on an invalid
@@ -644,6 +659,36 @@ func (n *Network) resolveGroup(dst int, l Lane, slot int64, group []*transmissio
 			if n.obs != nil {
 				n.observe(dst, obs.KindCollision, tx, l, now, slot)
 			}
+			if n.linkObs != nil {
+				n.linkObs[dst].NoteCollision(tx.src, dst)
+			}
+			tx.attempt++
+			tx.pkt.Retries++
+			if tx.firstSlotEnd == 0 {
+				tx.firstSlotEnd = now
+			}
+			n.failBack(dst, tx, l, slot, now, false)
+			return
+		}
+		// A spoofer's arrival carries a forged PID/~PID header: the match
+		// fails and the receiver misdetects a collision — the packet is
+		// not delivered and the sender retries into an ever-deeper backoff
+		// window, burning the victim's slots each time (§4.3.1's detection
+		// mechanism turned against itself). The draw runs on the
+		// receiver's stream, in the receiver's context.
+		if n.adv != nil && n.adv.SpoofedHeader(tx.src, now, n.nrng[dst]) {
+			st.SpoofedHeaders++
+			st.Collisions[l]++
+			st.Collided[l]++
+			if l == LaneData {
+				st.DataByKind[classify(group)]++
+			}
+			if n.obs != nil {
+				n.observe(dst, obs.KindCollision, tx, l, now, slot)
+			}
+			if n.linkObs != nil {
+				n.linkObs[dst].NoteCollision(tx.src, dst)
+			}
 			tx.attempt++
 			tx.pkt.Retries++
 			if tx.firstSlotEnd == 0 {
@@ -669,6 +714,9 @@ func (n *Network) resolveGroup(dst int, l Lane, slot int64, group []*transmissio
 	for _, tx := range group {
 		if n.obs != nil {
 			n.observe(dst, obs.KindCollision, tx, l, now, slot)
+		}
+		if n.linkObs != nil {
+			n.linkObs[dst].NoteCollision(tx.src, dst)
 		}
 		tx.attempt++
 		tx.pkt.Retries++
@@ -762,6 +810,15 @@ func (n *Network) backoff(tx *transmission, l Lane, slot int64, now sim.Cycle, i
 		n.drop(tx, l, now)
 		return
 	}
+	// Backoff-depth metering, in the sender's context: the deepest
+	// attempt count any transmission reaches is the detection layer's
+	// strongest per-link anomaly signal under adversarial load.
+	if d := int64(tx.attempt); d > n.stats[tx.src].MaxBackoffDepth[l] {
+		n.stats[tx.src].MaxBackoffDepth[l] = d
+	}
+	if n.linkObs != nil {
+		n.linkObs[tx.src].NoteBackoff(tx.src, tx.pkt.Dst, tx.attempt)
+	}
 	if isWinner {
 		tx.retrySlot = slot + 2
 		ns.retries[l] = append(ns.retries[l], tx)
@@ -852,7 +909,14 @@ func (n *Network) deliverClean(dst int, tx *transmission, l Lane, slot int64, no
 			})
 		}
 	}
-	if n.fault != nil && n.fault.DropConfirm(tx.src, p.Dst, now) {
+	lost := n.fault != nil && n.fault.DropConfirm(tx.src, p.Dst, now)
+	if !lost && n.adv != nil && n.adv.StarveConfirm(p.Dst, now, n.nrng[dst]) {
+		// A starver suppresses the victim's confirmation beam; to the
+		// sender this is indistinguishable from a physical confirm loss.
+		lost = true
+		st.StarvedConfirms++
+	}
+	if lost {
 		// The payload landed but the sender will never hear so: after the
 		// confirmation timeout it retransmits; the receiver discards the
 		// duplicate above and re-confirms. The requeue rides the same

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"fsoi/internal/adversary"
+	"fsoi/internal/obs"
+	"fsoi/internal/stats"
+	"fsoi/internal/system"
+)
+
+func init() {
+	Registry = append(Registry,
+		struct {
+			ID     string
+			Runner Runner
+		}{"resilience", Resilience},
+	)
+}
+
+// defaultIntensities spans the hostile duty-cycle range: at 0.3 an
+// attacker still looks like a busy honest node, at 0.9 it saturates its
+// victim's receiver nearly every slot.
+var defaultIntensities = []float64{0.3, 0.6, 0.9}
+
+// resilienceRoles are swept in declaration order.
+var resilienceRoles = []adversary.Role{adversary.RoleJammer, adversary.RoleSpoofer, adversary.RoleStarver}
+
+// attackers places two hostile nodes at the top of the id range:
+// nodes-1 and nodes-2 have different parities, so between them they
+// exercise both receiver banks of the src%Receivers assignment.
+func attackers(nodes int) []int { return []int{nodes - 1, nodes - 2} }
+
+// specsFor builds the two-attacker roster for one (role, intensity)
+// point. Both attackers target node 0, the directory-home hot spot.
+func specsFor(role adversary.Role, intensity float64, nodes int) []adversary.Spec {
+	var specs []adversary.Spec
+	for _, a := range attackers(nodes) {
+		specs = append(specs, adversary.Spec{
+			Role: role, Node: a, Victims: []int{0}, Intensity: intensity,
+		})
+	}
+	return specs
+}
+
+// truePositive decides whether one flagged link localizes the attack:
+// any link touching a hostile node (its transmit storm, or the victim's
+// replies straight back to it), or any link into a declared victim (the
+// congestion epicenter honest senders pile onto). A flag elsewhere is a
+// false positive — blame pinned on bystander traffic.
+func truePositive(link obs.Link, hostile map[int]bool, victims map[int]bool) bool {
+	return hostile[link.Src] || hostile[link.Dst] || victims[link.Dst]
+}
+
+// Resilience is the registered "resilience" experiment (ROADMAP item 4):
+// adversary role x intensity x node count, measuring honest-traffic
+// degradation against an attack-free control and the detector's
+// precision and latency. The control run doubles as the false-positive
+// gate: with no attacker present the detector must flag nothing.
+func Resilience(o Options) Result {
+	nodeCounts := []int{16, 64}
+	intensities := defaultIntensities
+	if o.Scale < 0.2 {
+		nodeCounts = []int{16} // benches skip the 64-node half
+		intensities = []float64{0.3, 0.9}
+	}
+	return ResilienceSweep(o, resilienceRoles, intensities, nodeCounts)
+}
+
+// ResilienceSweep runs the resilience grid over the given roles,
+// intensities, and node counts (cmd/resilience parameterizes them). The
+// honest workload is the first app of the selected suite.
+func ResilienceSweep(o Options, roles []adversary.Role, intensities []float64, nodeCounts []int) Result {
+	app := o.suite()[0]
+
+	// Job list: per node count, one attack-free control then the full
+	// (role, intensity) grid, all mutually independent.
+	var jobs []simJob
+	for _, nodes := range nodeCounts {
+		jobs = append(jobs, simJob{app: app, kind: system.NetFSOI, nodes: nodes,
+			mutate: func(c *system.Config) { c.Detect = true }})
+		for _, role := range roles {
+			for _, in := range intensities {
+				specs := specsFor(role, in, nodes)
+				jobs = append(jobs, simJob{app: app, kind: system.NetFSOI, nodes: nodes,
+					mutate: func(c *system.Config) {
+						c.Detect = true
+						c.Adversaries = specs
+					}})
+			}
+		}
+	}
+	ms := runGrid(o, jobs)
+
+	t := stats.NewTable("nodes", "role", "intensity", "honest slowdown",
+		"lat ratio", "flagged", "precision", "detect@")
+	vals := map[string]float64{}
+	var b strings.Builder
+	idx := 0
+	for _, nodes := range nodeCounts {
+		control := ms[idx]
+		idx++
+		controlFlags := len(control.Detection.Flagged)
+		vals[fmt.Sprintf("control_flags_n%d", nodes)] = float64(controlFlags)
+		fmt.Fprintf(&b, "n=%d control: %d cycles, mean latency %.1f, %d links flagged (must be 0)\n",
+			nodes, control.Cycles, control.Latency.MeanTotal(), controlFlags)
+		for _, role := range roles {
+			hostile := map[int]bool{}
+			for _, a := range attackers(nodes) {
+				hostile[a] = true
+			}
+			victims := map[int]bool{0: true}
+			for _, in := range intensities {
+				m := ms[idx]
+				idx++
+				slowdown := float64(m.HonestFinish) / float64(control.Cycles)
+				latRatio := m.Latency.MeanTotal() / control.Latency.MeanTotal()
+				tp := 0
+				detectAt := int64(-1)
+				for _, f := range m.Detection.Flagged {
+					if truePositive(f.Link, hostile, victims) {
+						tp++
+						if detectAt < 0 || f.FlaggedAt < detectAt {
+							detectAt = f.FlaggedAt
+						}
+					}
+				}
+				precision := 1.0
+				if n := len(m.Detection.Flagged); n > 0 {
+					precision = float64(tp) / float64(n)
+				}
+				at := "-"
+				if detectAt >= 0 {
+					at = fmt.Sprint(detectAt)
+				}
+				t.AddRow(fmt.Sprint(nodes), role.String(), fmt.Sprintf("%.1f", in),
+					fmt.Sprintf("%.3f", slowdown), fmt.Sprintf("%.3f", latRatio),
+					fmt.Sprint(len(m.Detection.Flagged)), fmt.Sprintf("%.2f", precision), at)
+				key := fmt.Sprintf("%s_i%.1f_n%d", role, in, nodes)
+				vals["slowdown_"+key] = slowdown
+				vals["lat_ratio_"+key] = latRatio
+				vals["flagged_"+key] = float64(len(m.Detection.Flagged))
+				vals["precision_"+key] = precision
+				vals["detect_at_"+key] = float64(detectAt)
+			}
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(t.String())
+	b.WriteString("\ntwo attackers (nodes-1, nodes-2: both receiver parities) target node 0.\n")
+	b.WriteString("honest slowdown = honest finish cycle / attack-free run length; detect@ is the\n")
+	b.WriteString("first cycle a true-positive link crossed a detection threshold (- = missed).\n")
+	return Result{
+		ID:     "resilience",
+		Title:  "Resilience: honest-traffic degradation and attack detection",
+		Text:   b.String(),
+		Values: vals,
+	}
+}

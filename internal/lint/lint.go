@@ -70,6 +70,7 @@ var simPackages = []string{
 	"internal/obs",
 	"internal/corona",
 	"internal/optnet",
+	"internal/adversary",
 }
 
 // isSimPackage reports whether the module-relative path rel is (or is

@@ -1,0 +1,457 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fsoi/internal/stats"
+)
+
+// Detector configuration defaults; see DetectorConfig.
+const (
+	defaultWindowCycles        = 2048
+	defaultWarmupWindows       = 2
+	defaultQuantile            = 0.75
+	defaultFloodFactor         = 6.0
+	defaultMinFloodAttempts    = 96
+	defaultVolumeFactor        = 4.0
+	defaultMinVolumeAttempts   = 24
+	defaultRateFactor          = 4.0
+	defaultMinWindowCollisions = 32
+	defaultDepthLimit          = 14
+	defaultDepthMinPeak        = 8
+	defaultConfirmFactor       = 4.0
+	defaultMinConfirmDrops     = 16
+)
+
+// DetectorConfig tunes the adversarial-traffic detector. The zero value
+// selects the defaults above, which hold zero false positives on every
+// attack-free configuration in the test suite while flagging the
+// attacker-adjacent links of the resilience sweep.
+type DetectorConfig struct {
+	// WindowCycles is the counting window length.
+	WindowCycles int64
+	// WarmupWindows excludes the run's first windows from every count:
+	// at cold start all nodes miss at once and briefly storm the memory
+	// controller links, a transient that looks exactly like an attack
+	// but ends within a couple of windows. Negative disables exclusion.
+	WarmupWindows int64
+	// Quantile picks each baseline from the distribution of per-link
+	// peak window counts (0.75 = upper quartile). A percentile-derived
+	// baseline self-calibrates to the run's honest traffic level, so
+	// the same factors serve a quiet 16-node run and a saturated
+	// 64-node one.
+	Quantile float64
+	// FloodFactor scales the volume baseline into the flood threshold:
+	// a link pushing this many times the typical busy link's window
+	// peak is hostile on volume alone, collisions or not. A jammer
+	// cannot jam without transmitting.
+	FloodFactor float64
+	// MinFloodAttempts floors the flood threshold, guarding
+	// nearly-idle runs where the baseline is tiny.
+	MinFloodAttempts int64
+	// VolumeFactor scales the volume baseline into the corroboration
+	// threshold the rate and depth rules require: congestion symptoms
+	// only implicate a link that is itself anomalously busy. Without
+	// this gate, honest senders backing off from a jammed receiver
+	// would be flagged for the attacker's crime.
+	VolumeFactor float64
+	// MinVolumeAttempts floors the corroboration threshold.
+	MinVolumeAttempts int64
+	// RateFactor scales the collision baseline into the rate-anomaly
+	// threshold.
+	RateFactor float64
+	// MinWindowCollisions floors the rate threshold, guarding
+	// nearly-collision-free runs where the baseline is ~0.
+	MinWindowCollisions int64
+	// DepthLimit flags a link whose deepest backoff attempt reaches it...
+	DepthLimit int64
+	// ...provided the link also saw DepthMinPeak collisions in one
+	// window (and passes the volume gate).
+	DepthMinPeak int64
+	// ConfirmFactor and MinConfirmDrops mirror the rate rule for
+	// confirmation losses (the starver's signature). Confirmation
+	// drops need no volume corroboration: a healthy fault-free link
+	// loses none, so any pile-up is anomalous wherever it appears.
+	ConfirmFactor   float64
+	MinConfirmDrops int64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.WindowCycles <= 0 {
+		c.WindowCycles = defaultWindowCycles
+	}
+	if c.WarmupWindows == 0 {
+		c.WarmupWindows = defaultWarmupWindows
+	}
+	if c.WarmupWindows < 0 {
+		c.WarmupWindows = 0
+	}
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		c.Quantile = defaultQuantile
+	}
+	if c.FloodFactor <= 0 {
+		c.FloodFactor = defaultFloodFactor
+	}
+	if c.MinFloodAttempts <= 0 {
+		c.MinFloodAttempts = defaultMinFloodAttempts
+	}
+	if c.VolumeFactor <= 0 {
+		c.VolumeFactor = defaultVolumeFactor
+	}
+	if c.MinVolumeAttempts <= 0 {
+		c.MinVolumeAttempts = defaultMinVolumeAttempts
+	}
+	if c.RateFactor <= 0 {
+		c.RateFactor = defaultRateFactor
+	}
+	if c.MinWindowCollisions <= 0 {
+		c.MinWindowCollisions = defaultMinWindowCollisions
+	}
+	if c.DepthLimit <= 0 {
+		c.DepthLimit = defaultDepthLimit
+	}
+	if c.DepthMinPeak <= 0 {
+		c.DepthMinPeak = defaultDepthMinPeak
+	}
+	if c.ConfirmFactor <= 0 {
+		c.ConfirmFactor = defaultConfirmFactor
+	}
+	if c.MinConfirmDrops <= 0 {
+		c.MinConfirmDrops = defaultMinConfirmDrops
+	}
+	return c
+}
+
+// LinkProfile is one link's contention record with its verdict.
+type LinkProfile struct {
+	Link
+	Attempts     int64  // transmission attempts over the whole run
+	PeakAttempts int64  // most attempts in any one window
+	Collisions   int64  // collision events over the whole run
+	PeakWindow   int64  // most collisions in any one window
+	MaxDepth     int64  // deepest backoff attempt
+	ConfirmDrops int64  // lost confirmations
+	FlaggedAt    int64  // cycle of the first threshold crossing (-1 = clean)
+	Reason       string // "flood", "rate", "depth", "confirm", "+"-joined when several
+}
+
+// Report is the detector's output over one run's lifecycle events.
+type Report struct {
+	Cfg              DetectorConfig
+	Windows          int64 // windows spanned by the observed events
+	VolumeBaseline   int64 // Quantile of per-link peak attempt windows
+	FloodThreshold   int64
+	VolumeThreshold  int64 // corroboration gate for the rate/depth rules
+	RateBaseline     int64 // Quantile of per-link peak collision windows
+	RateThreshold    int64
+	ConfirmBaseline  int64 // Quantile of per-link confirmation-loss totals
+	ConfirmThreshold int64
+	Links            []LinkProfile // every link with contention signal, by (src, dst)
+	Flagged          []LinkProfile // the anomalous subset, by (src, dst)
+}
+
+// linkAcc accumulates one link's signals during an event scan.
+type linkAcc struct {
+	att       int64
+	attWindow int64
+	attIn     int64
+	attPeak   int64
+	coll      int64
+	window    int64 // window index currently being counted
+	inWindow  int64 // collisions in that window
+	peak      int64
+	depth     int64
+	confirms  int64
+	flaggedAt int64
+	reasons   []string
+}
+
+// noteAttempt folds one transmission attempt into the windows.
+func (a *linkAcc) noteAttempt(at, windowCycles int64) {
+	a.att++
+	if w := at / windowCycles; w != a.attWindow {
+		a.attWindow, a.attIn = w, 0
+	}
+	a.attIn++
+	if a.attIn > a.attPeak {
+		a.attPeak = a.attIn
+	}
+}
+
+// noteCollision folds one collision event into the windows.
+func (a *linkAcc) noteCollision(at, windowCycles int64) {
+	a.coll++
+	if w := at / windowCycles; w != a.window {
+		a.window, a.inWindow = w, 0
+	}
+	a.inWindow++
+	if a.inWindow > a.peak {
+		a.peak = a.inWindow
+	}
+}
+
+// Detect runs the windowed per-link anomaly detector over one run's
+// lifecycle events. Events must be in non-decreasing At order —
+// Recorder.Events and the JSONL export both guarantee it — and the
+// result is a pure function of the event sequence, so a run that is
+// byte-identical across engines yields a byte-identical report.
+func Detect(events []Event, cfg DetectorConfig) *Report {
+	cfg = cfg.withDefaults()
+	acc := make(map[Link]*linkAcc)
+	at := func(e Event) (*linkAcc, bool) {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, false
+		}
+		k := Link{Src: int(e.Src), Dst: int(e.Dst)}
+		a := acc[k]
+		if a == nil {
+			a = &linkAcc{attWindow: -1, window: -1, flaggedAt: -1}
+			acc[k] = a
+		}
+		return a, true
+	}
+	warmCycles := cfg.WarmupWindows * cfg.WindowCycles
+	var lastAt int64
+	for _, e := range events {
+		if v := int64(e.At); v > lastAt {
+			lastAt = v
+		}
+		if int64(e.At) < warmCycles {
+			continue
+		}
+		switch e.Kind {
+		case KindTxStart, KindRetransmit:
+			if a, ok := at(e); ok {
+				a.noteAttempt(int64(e.At), cfg.WindowCycles)
+			}
+		case KindCollision:
+			if a, ok := at(e); ok {
+				a.noteCollision(int64(e.At), cfg.WindowCycles)
+			}
+		case KindBackoff:
+			a, ok := at(e)
+			if !ok {
+				continue
+			}
+			if d := int64(e.Attempt); d > a.depth {
+				a.depth = d
+			}
+		case KindConfirmDrop:
+			if a, ok := at(e); ok {
+				a.confirms++
+			}
+		}
+	}
+
+	keys := make([]Link, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+
+	// Percentile-derived baselines over the per-link distributions.
+	var attPeaks, peaks, confirms []int64
+	for _, k := range keys {
+		a := acc[k]
+		if a.att > 0 {
+			attPeaks = append(attPeaks, a.attPeak)
+		}
+		if a.coll > 0 {
+			peaks = append(peaks, a.peak)
+		}
+		// Confirm losses baseline over every active link, zeros included:
+		// a healthy link loses nothing, so when only the victim's links
+		// pile up drops the quantile stays at the honest level instead of
+		// being dragged up by the attack itself. Uniform physical-fault
+		// drops (fault.Config.ConfirmDropProb) still lift it everywhere.
+		confirms = append(confirms, a.confirms)
+	}
+	r := &Report{
+		Cfg:             cfg,
+		Windows:         lastAt/cfg.WindowCycles + 1,
+		VolumeBaseline:  quantileInt(attPeaks, cfg.Quantile),
+		RateBaseline:    quantileInt(peaks, cfg.Quantile),
+		ConfirmBaseline: quantileInt(confirms, cfg.Quantile),
+	}
+	r.FloodThreshold = maxInt64(cfg.MinFloodAttempts,
+		int64(math.Ceil(cfg.FloodFactor*float64(r.VolumeBaseline))))
+	r.VolumeThreshold = maxInt64(cfg.MinVolumeAttempts,
+		int64(math.Ceil(cfg.VolumeFactor*float64(r.VolumeBaseline))))
+	r.RateThreshold = maxInt64(cfg.MinWindowCollisions,
+		int64(math.Ceil(cfg.RateFactor*float64(r.RateBaseline))))
+	r.ConfirmThreshold = maxInt64(cfg.MinConfirmDrops,
+		int64(math.Ceil(cfg.ConfirmFactor*float64(r.ConfirmBaseline))))
+
+	// Verdicts.
+	for _, k := range keys {
+		a := acc[k]
+		busy := a.attPeak >= r.VolumeThreshold
+		if a.attPeak >= r.FloodThreshold {
+			a.reasons = append(a.reasons, "flood")
+		}
+		if busy && a.peak >= r.RateThreshold {
+			a.reasons = append(a.reasons, "rate")
+		}
+		if busy && a.depth >= cfg.DepthLimit && a.peak >= cfg.DepthMinPeak {
+			a.reasons = append(a.reasons, "depth")
+		}
+		if a.confirms >= r.ConfirmThreshold {
+			a.reasons = append(a.reasons, "confirm")
+		}
+	}
+
+	// Second scan: the cycle each flagged link first crossed its
+	// thresholds, the detection-latency numerator.
+	run := make(map[Link]*linkAcc, len(acc))
+	for _, e := range events {
+		if e.Src < 0 || e.Dst < 0 || int64(e.At) < warmCycles {
+			continue
+		}
+		k := Link{Src: int(e.Src), Dst: int(e.Dst)}
+		a := acc[k]
+		if a == nil || len(a.reasons) == 0 || a.flaggedAt >= 0 {
+			continue
+		}
+		s := run[k]
+		if s == nil {
+			s = &linkAcc{attWindow: -1, window: -1}
+			run[k] = s
+		}
+		switch e.Kind {
+		case KindTxStart, KindRetransmit:
+			s.noteAttempt(int64(e.At), cfg.WindowCycles)
+		case KindCollision:
+			s.noteCollision(int64(e.At), cfg.WindowCycles)
+		case KindBackoff:
+			if d := int64(e.Attempt); d > s.depth {
+				s.depth = d
+			}
+		case KindConfirmDrop:
+			s.confirms++
+		}
+		busy := s.attPeak >= r.VolumeThreshold
+		switch {
+		case hasReason(a, "flood") && s.attIn >= r.FloodThreshold,
+			hasReason(a, "rate") && busy && s.inWindow >= r.RateThreshold,
+			hasReason(a, "depth") && busy && s.depth >= cfg.DepthLimit && s.peak >= cfg.DepthMinPeak,
+			hasReason(a, "confirm") && s.confirms >= r.ConfirmThreshold:
+			a.flaggedAt = int64(e.At)
+		}
+	}
+
+	for _, k := range keys {
+		a := acc[k]
+		p := LinkProfile{
+			Link: k, Attempts: a.att, PeakAttempts: a.attPeak,
+			Collisions: a.coll, PeakWindow: a.peak,
+			MaxDepth: a.depth, ConfirmDrops: a.confirms,
+			FlaggedAt: a.flaggedAt, Reason: strings.Join(a.reasons, "+"),
+		}
+		r.Links = append(r.Links, p)
+		if p.Reason != "" {
+			r.Flagged = append(r.Flagged, p)
+		}
+	}
+	return r
+}
+
+func hasReason(a *linkAcc, want string) bool {
+	for _, r := range a.reasons {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// quantileInt returns the q-quantile of vs by the nearest-rank method
+// (0 for an empty sample). Integer in, integer out: no float compare
+// ambiguity enters the byte surface.
+func quantileInt(vs []int64, q float64) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(vs))
+	copy(sorted, vs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FlaggedLinks returns just the anomalous links, by (src, dst).
+func (r *Report) FlaggedLinks() []Link {
+	out := make([]Link, len(r.Flagged))
+	for i, p := range r.Flagged {
+		out[i] = p.Link
+	}
+	return out
+}
+
+// Table renders the verdicts: thresholds first, then the flagged links.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "detector: %d windows of %d cycles over %d links (first %d windows are warm-up)\n",
+		r.Windows, r.Cfg.WindowCycles, len(r.Links), r.Cfg.WarmupWindows)
+	fmt.Fprintf(&b, "thresholds: flood %d, volume gate %d (baseline %d), rate %d (baseline %d), confirm %d (baseline %d), depth limit %d\n",
+		r.FloodThreshold, r.VolumeThreshold, r.VolumeBaseline,
+		r.RateThreshold, r.RateBaseline, r.ConfirmThreshold, r.ConfirmBaseline, r.Cfg.DepthLimit)
+	if len(r.Flagged) == 0 {
+		b.WriteString("no anomalous links\n")
+		return b.String()
+	}
+	t := stats.NewTable("link", "reason", "attempts", "peak-att", "collisions", "peak-coll", "max-backoff", "confirm-drops", "flagged-at")
+	for _, p := range r.Flagged {
+		t.AddRow(fmt.Sprintf("%d->%d", p.Src, p.Dst), p.Reason,
+			fmt.Sprintf("%d", p.Attempts), fmt.Sprintf("%d", p.PeakAttempts),
+			fmt.Sprintf("%d", p.Collisions), fmt.Sprintf("%d", p.PeakWindow),
+			fmt.Sprintf("%d", p.MaxDepth), fmt.Sprintf("%d", p.ConfirmDrops),
+			fmt.Sprintf("%d", p.FlaggedAt))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CanonicalLines serializes the report for the canonical-metrics byte
+// surface, one "key value" line per entry, flagged links included — the
+// equivalence CI compares detection verdicts across engines, not just
+// raw counters.
+func (r *Report) CanonicalLines() []string {
+	out := []string{
+		fmt.Sprintf("detection.windows %d", r.Windows),
+		fmt.Sprintf("detection.links %d", len(r.Links)),
+		fmt.Sprintf("detection.volume_baseline %d", r.VolumeBaseline),
+		fmt.Sprintf("detection.flood_threshold %d", r.FloodThreshold),
+		fmt.Sprintf("detection.volume_threshold %d", r.VolumeThreshold),
+		fmt.Sprintf("detection.rate_baseline %d", r.RateBaseline),
+		fmt.Sprintf("detection.rate_threshold %d", r.RateThreshold),
+		fmt.Sprintf("detection.confirm_baseline %d", r.ConfirmBaseline),
+		fmt.Sprintf("detection.confirm_threshold %d", r.ConfirmThreshold),
+		fmt.Sprintf("detection.flagged %d", len(r.Flagged)),
+	}
+	for _, p := range r.Flagged {
+		out = append(out, fmt.Sprintf("detection.flag %d->%d %s at=%d peak=%d depth=%d confirms=%d",
+			p.Src, p.Dst, p.Reason, p.FlaggedAt, p.PeakWindow, p.MaxDepth, p.ConfirmDrops))
+	}
+	return out
+}

@@ -79,6 +79,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// ParseKind inverts String: it maps an on-wire identifier from the
+// JSONL export back to its Kind (false for unknown names), letting
+// cmd/fsoitrace rebuild events for offline detection.
+func ParseKind(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Packet classes, mirroring noc.PacketType without importing it (obs
 // sits below every network package in the dependency order).
 const (

@@ -29,6 +29,11 @@ const (
 type Registry struct {
 	byClass [2]*stats.Histogram
 	byLink  map[Link]*stats.Histogram
+
+	// Contention tracking for the detection layer (core.LinkObserver):
+	// collision-event counts and deepest backoff attempt per link.
+	collByLink  map[Link]int64
+	depthByLink map[Link]int64
 }
 
 // NewRegistry builds an empty registry.
@@ -38,7 +43,22 @@ func NewRegistry() *Registry {
 			stats.NewHistogram(registryWidth, registryBuckets),
 			stats.NewHistogram(registryWidth, registryBuckets),
 		},
-		byLink: make(map[Link]*stats.Histogram),
+		byLink:      make(map[Link]*stats.Histogram),
+		collByLink:  make(map[Link]int64),
+		depthByLink: make(map[Link]int64),
+	}
+}
+
+// NoteCollision counts one collision event on src->dst.
+func (g *Registry) NoteCollision(src, dst int) {
+	g.collByLink[Link{Src: src, Dst: dst}]++
+}
+
+// NoteBackoff tracks the deepest backoff attempt seen on src->dst.
+func (g *Registry) NoteBackoff(src, dst, attempt int) {
+	key := Link{Src: src, Dst: dst}
+	if int64(attempt) > g.depthByLink[key] {
+		g.depthByLink[key] = int64(attempt)
 	}
 }
 
@@ -72,6 +92,14 @@ func (g *Registry) Merge(other *Registry) {
 			g.byLink[k] = mine
 		}
 		mine.Merge(h)
+	}
+	for k, v := range other.collByLink { // additive per-key merge
+		g.collByLink[k] += v
+	}
+	for k, v := range other.depthByLink { // per-key max merge: order-independent
+		if v > g.depthByLink[k] {
+			g.depthByLink[k] = v
+		}
 	}
 }
 
@@ -155,13 +183,72 @@ func (g *Registry) LinkTable(top int) string {
 	return b.String()
 }
 
-// String renders both tables.
+// contentionLinks returns every link with a collision or backoff record
+// in sorted (src, dst) order.
+func (g *Registry) contentionLinks() []Link {
+	keys := make([]Link, 0, len(g.collByLink))
+	for k := range g.collByLink {
+		keys = append(keys, k)
+	}
+	for k := range g.depthByLink {
+		if _, dup := g.collByLink[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
+}
+
+// LinkCollisions reports the collision-event count recorded for one link.
+func (g *Registry) LinkCollisions(k Link) int64 { return g.collByLink[k] }
+
+// LinkDepth reports the deepest backoff attempt recorded for one link.
+func (g *Registry) LinkDepth(k Link) int64 { return g.depthByLink[k] }
+
+// ContentionTable renders the per-link contention table, most-collided
+// links first (ties broken by src, dst), truncated to at most top rows
+// (top <= 0 means every link). The truncation is announced, never
+// silent.
+func (g *Registry) ContentionTable(top int) string {
+	keys := g.contentionLinks()
+	sort.SliceStable(keys, func(i, j int) bool {
+		return g.collByLink[keys[i]] > g.collByLink[keys[j]]
+	})
+	truncated := 0
+	if top > 0 && len(keys) > top {
+		truncated = len(keys) - top
+		keys = keys[:top]
+	}
+	t := stats.NewTable("link", "collisions", "max-backoff")
+	for _, k := range keys {
+		t.AddRow(fmt.Sprintf("%d->%d", k.Src, k.Dst),
+			fmt.Sprintf("%d", g.collByLink[k]), fmt.Sprintf("%d", g.depthByLink[k]))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	if truncated > 0 {
+		fmt.Fprintf(&b, "(%d quieter links omitted)\n", truncated)
+	}
+	return b.String()
+}
+
+// String renders every table (the contention table only once something
+// was recorded into it).
 func (g *Registry) String() string {
 	var b strings.Builder
 	b.WriteString("latency percentiles by packet class (cycles)\n")
 	b.WriteString(g.ClassTable())
 	b.WriteString("\nlatency percentiles by link (cycles)\n")
 	b.WriteString(g.LinkTable(16))
+	if len(g.collByLink)+len(g.depthByLink) > 0 {
+		b.WriteString("\nlink contention (collision events, deepest backoff)\n")
+		b.WriteString(g.ContentionTable(16))
+	}
 	return b.String()
 }
 

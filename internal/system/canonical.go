@@ -71,6 +71,22 @@ func (m Metrics) Canonical() string {
 		put("fsoi.timeout_retransmits", m.FSOI.TimeoutRetransmits)
 		put("fsoi.duplicate_deliveries", m.FSOI.DuplicateDeliveries)
 		put("fsoi.degraded_transmissions", m.FSOI.DegradedTransmissions)
+		put("fsoi.spoofed_headers", m.FSOI.SpoofedHeaders)
+		put("fsoi.starved_confirms", m.FSOI.StarvedConfirms)
+		for l := 0; l < len(m.FSOI.MaxBackoffDepth); l++ {
+			put(fmt.Sprintf("fsoi.lane%d.max_backoff_depth", l), m.FSOI.MaxBackoffDepth[l])
+		}
+	}
+
+	if m.AdversaryNodes > 0 {
+		put("adversary.nodes", m.AdversaryNodes)
+		put("adversary.honest_finish", int64(m.HonestFinish))
+	}
+	if m.Detection != nil {
+		for _, line := range m.Detection.CanonicalLines() {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
 	}
 
 	put("energy.network", float64(m.Energy.Network))

@@ -7,6 +7,7 @@ package system
 import (
 	"fmt"
 
+	"fsoi/internal/adversary"
 	"fsoi/internal/cache"
 	"fsoi/internal/coherence"
 	"fsoi/internal/core"
@@ -130,6 +131,21 @@ type Config struct {
 	// attaches nothing and leaves every code path and RNG draw identical
 	// to a fault-free build.
 	Fault fault.Config
+	// Adversaries places hostile nodes on the fabric (FSOI only): each
+	// spec'd node runs a hostile operation stream instead of its
+	// application thread, and spoofer/starver roles additionally attach
+	// an adversary.Model to the optical layer. Honest nodes still run
+	// the full application; barrier targets shrink to the honest count.
+	// Empty (the default) attaches nothing and leaves every code path
+	// and RNG draw identical to an adversary-free build.
+	Adversaries []adversary.Spec
+	// Detect runs the obs-based anomaly detector over the recorded
+	// lifecycle events at collect time, exporting the verdict through
+	// Metrics.Detection and the canonical form. Implies Observe.
+	Detect bool
+	// DetectWindow overrides the detector's collision-counting window in
+	// cycles; 0 selects the default.
+	DetectWindow int64
 }
 
 // Default returns the paper configuration for the given node count and
@@ -194,6 +210,17 @@ type Metrics struct {
 	// DroppedPackets counts packets the network permanently gave up on
 	// (FSOI retry exhaustion under Config.FSOI.MaxRetries).
 	DroppedPackets int64
+
+	// AdversaryNodes counts configured hostile nodes; HonestFinish is
+	// the cycle the last *honest* core finished — Cycles includes the
+	// attackers' tails, so honest-traffic degradation compares
+	// HonestFinish against the attack-free control. Both zero unless
+	// Config.Adversaries was set.
+	AdversaryNodes int
+	HonestFinish   sim.Cycle
+	// Detection is the adversarial-traffic detector's verdict over the
+	// run's lifecycle events; nil unless Config.Detect was set.
+	Detection *obs.Report
 
 	// Traffic and protocol counters aggregated over nodes.
 	MetaPackets   int64
@@ -364,6 +391,21 @@ func New(cfg Config) *System {
 		// optical delivery path (recycle at delivery) would violate.
 		cfg.Net = NetFSOI
 	}
+	if cfg.Detect {
+		// The detector consumes the lifecycle-event record.
+		cfg.Observe = true
+	}
+	if len(cfg.Adversaries) > 0 {
+		if cfg.Net != NetFSOI {
+			panic(fmt.Sprintf("system: adversaries target the FSOI shared medium (got %v)", cfg.Net))
+		}
+		if err := adversary.Validate(cfg.Adversaries, cfg.Nodes); err != nil {
+			panic(fmt.Sprintf("system: %v", err))
+		}
+		if len(cfg.Adversaries) >= cfg.Nodes {
+			panic("system: at least one honest node is required")
+		}
+	}
 	s := &System{
 		cfg:         cfg,
 		rng:         sim.NewRNG(cfg.Seed),
@@ -424,6 +466,12 @@ func New(cfg Config) *System {
 			// stay bit-identical.
 			s.injector = fault.New(cfg.Fault, fc, s.rng.NewStream("fault"))
 			s.fsoi.SetFaultModel(s.injector)
+		}
+		if len(cfg.Adversaries) > 0 {
+			// The optical-layer half of the roster; the hostile streams
+			// are installed per node in Run. Adversary-free runs attach
+			// nothing and draw nothing.
+			s.fsoi.SetAdversaryModel(adversary.NewModel(cfg.Adversaries, cfg.Nodes))
 		}
 	case NetMesh:
 		mc := mesh.PaperMesh(dim)
@@ -537,6 +585,15 @@ func New(cfg Config) *System {
 		}
 		if s.injector != nil {
 			s.injector.AnnotateTrace(s.obsRec)
+		}
+		if s.fsoi != nil {
+			// Per-link contention tracking for the detection layer: every
+			// observation lands in the executing node's own registry.
+			sinks := make([]core.LinkObserver, cfg.Nodes)
+			for i := range sinks {
+				sinks[i] = s.obsReg[i]
+			}
+			s.fsoi.SetLinkObservers(sinks)
 		}
 	}
 	s.net.SetDelivery(s.deliver)
@@ -716,17 +773,29 @@ func (s *System) onBit(src, dst int, tag uint64, value bool, now sim.Cycle) {
 // Run executes one application to completion (or MaxCycles) and gathers
 // metrics.
 func (s *System) Run(app workload.App) Metrics {
-	// Barrier target: every core participates in barrier 0.
-	for _, d := range s.dirs {
-		d.Sync().SetBarrierTarget(0, s.cfg.Nodes)
+	// Barrier target: every honest core participates in barrier 0.
+	// Hostile streams emit no barriers, so counting the attackers would
+	// wedge every honest thread at its first barrier.
+	advBy := make(map[int]adversary.Spec, len(s.cfg.Adversaries))
+	for _, sp := range s.cfg.Adversaries {
+		advBy[sp.Node] = sp
 	}
-	s.sync.setBarrierTarget(0, s.cfg.Nodes)
+	honest := s.cfg.Nodes - len(advBy)
+	for _, d := range s.dirs {
+		d.Sync().SetBarrierTarget(0, honest)
+	}
+	s.sync.setBarrierTarget(0, honest)
 
 	for i := 0; i < s.cfg.Nodes; i++ {
 		if s.shardEng != nil {
 			s.shardEng.SetShard(s.shardEng.NodeShard(i))
 		}
-		stream := workload.NewStream(app, i, s.cfg.Nodes, s.cfg.Seed)
+		var stream cpu.Stream
+		if sp, hostile := advBy[i]; hostile {
+			stream = workload.NewAdversaryStream(sp, app, s.cfg.Nodes, s.cfg.Seed, s.sched(i).Now)
+		} else {
+			stream = workload.NewStream(app, i, s.cfg.Nodes, s.cfg.Seed)
+		}
 		c := cpu.New(i, s.cfg.Core, s.sched(i), s.l1s[i], stream, s.sync, s.onCoreFinish)
 		s.cores = append(s.cores, c)
 		c.Start()
@@ -776,6 +845,21 @@ func (s *System) collect(app string) Metrics {
 	}
 	m.Obs = s.obsRec.Merged()
 	m.ObsRegistry = s.ObsRegistry()
+	if len(s.cfg.Adversaries) > 0 {
+		m.AdversaryNodes = len(s.cfg.Adversaries)
+		hostile := make(map[int]bool, m.AdversaryNodes)
+		for _, sp := range s.cfg.Adversaries {
+			hostile[sp.Node] = true
+		}
+		for i, c := range s.cores {
+			if f := c.Stats().FinishCycle; !hostile[i] && f > m.HonestFinish {
+				m.HonestFinish = f
+			}
+		}
+	}
+	if s.cfg.Detect {
+		m.Detection = obs.Detect(m.Obs.Events(), obs.DetectorConfig{WindowCycles: s.cfg.DetectWindow})
+	}
 	if s.injector != nil {
 		m.FaultCounters = s.injector.Counters()
 		st := s.fsoi.Stats()

@@ -7,6 +7,9 @@
 package workload
 
 import (
+	"fmt"
+	"strconv"
+
 	"fsoi/internal/cache"
 	"fsoi/internal/cpu"
 	"fsoi/internal/sim"
@@ -18,6 +21,13 @@ import (
 const (
 	PrivateBase cache.LineAddr = 1 << 20
 	SharedBase  cache.LineAddr = 1 << 24
+	// privateStrideBits sizes each thread's private region: 1024 lines,
+	// comfortably above the suite's largest PrivateLines (512). The full
+	// span PrivateBase + nodes<<privateStrideBits stays below SharedBase
+	// for every supported node count (up to 15360 nodes); NewStream
+	// asserts both bounds so a layout regression fails loudly instead of
+	// silently turning private misses into phantom coherence traffic.
+	privateStrideBits = 10
 )
 
 // Pattern selects the sharing behaviour of an application.
@@ -120,8 +130,15 @@ type Stream struct {
 }
 
 // NewStream builds the operation stream for thread `node` of `nodes`.
+// The per-node RNG stream is derived from the full decimal node index:
+// deriving it from a folded byte (the pre-PR-10 `node%64` rune) made
+// nodes 64 apart draw byte-identical operation streams at 256/1024
+// nodes. The fix changes RNG stream genealogy, so every simulated
+// metric shifts relative to pre-fix runs; determinism is still checked
+// run-against-run (see system.TestCrossRunDeterminismByteIdentical).
 func NewStream(app App, node, nodes int, seed uint64) *Stream {
-	rng := sim.NewRNG(seed).NewStream(app.Name).NewStream(string(rune('A' + node%64)))
+	assertLayout(app, node, nodes)
+	rng := sim.NewRNG(seed).NewStream(app.Name).NewStream(strconv.Itoa(node))
 	s := &Stream{app: app, node: node, nodes: nodes, rng: rng}
 	if app.Zipf > 0 {
 		s.zipf = sim.NewZipf(rng.NewStream("zipf"), app.SharedLines, app.Zipf)
@@ -129,12 +146,29 @@ func NewStream(app App, node, nodes int, seed uint64) *Stream {
 	return s
 }
 
+// assertLayout panics when the address-space layout cannot hold this
+// configuration: the per-thread private regions must fit their stride
+// and the last node's region must stay strictly below SharedBase.
+func assertLayout(app App, node, nodes int) {
+	if app.PrivateLines > 1<<privateStrideBits {
+		panic(fmt.Sprintf("workload: %s PrivateLines %d exceeds the %d-line private stride",
+			app.Name, app.PrivateLines, 1<<privateStrideBits))
+	}
+	if top := PrivateBase + cache.LineAddr(nodes)<<privateStrideBits; top > SharedBase {
+		panic(fmt.Sprintf("workload: %d nodes overflow the private region (top %#x > SharedBase %#x)",
+			nodes, uint64(top), uint64(SharedBase)))
+	}
+	if node < 0 || node >= nodes {
+		panic(fmt.Sprintf("workload: node %d out of range [0,%d)", node, nodes))
+	}
+}
+
 // privateAddr maps private line j of this node into a contiguous
 // per-thread region. The distributed L2 is address-interleaved, so even
 // private data is homed across the whole chip — every L1 miss crosses
 // the interconnect, as in the paper's system.
 func (s *Stream) privateAddr(j int) cache.LineAddr {
-	return PrivateBase + cache.LineAddr(s.node)<<14 + cache.LineAddr(j)
+	return PrivateBase + cache.LineAddr(s.node)<<privateStrideBits + cache.LineAddr(j)
 }
 
 // sharedAddr picks a shared line per the application's pattern.

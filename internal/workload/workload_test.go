@@ -184,6 +184,59 @@ func TestPrivateRegionsDisjoint(t *testing.T) {
 	}
 }
 
+// TestStreamsDistinctAtLargeN is the regression test for the node%64
+// stream-derivation bug: at 256 nodes, nodes 64 apart drew from the
+// same RNG stream and emitted byte-identical operation sequences. No
+// two of the 256 threads may share their first-K op prefix.
+func TestStreamsDistinctAtLargeN(t *testing.T) {
+	const nodes, k = 256, 64
+	app, _ := ByName("fft", 0.05)
+	seen := map[string]int{}
+	for node := 0; node < nodes; node++ {
+		s := NewStream(app, node, nodes, 7)
+		var sig []byte
+		for i := 0; i < k; i++ {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			sig = append(sig, []byte(opKey(op))...)
+		}
+		if prev, dup := seen[string(sig)]; dup {
+			t.Fatalf("nodes %d and %d emit identical first-%d op sequences", prev, node, k)
+		}
+		seen[string(sig)] = node
+	}
+}
+
+func opKey(op cpu.Op) string {
+	return string(rune(op.Kind)) + "/" + string(rune(op.ID)) + "/" +
+		string(rune(op.Cycles)) + "/" + addrKey(op.Addr)
+}
+
+func addrKey(a cache.LineAddr) string {
+	return string([]byte{byte(a), byte(a >> 8), byte(a >> 16), byte(a >> 24)})
+}
+
+// TestPrivateRegionsBelowSharedBase is the regression test for the
+// node<<14 packing bug: at 1024 nodes the top nodes' private regions
+// crossed SharedBase. Every private address must stay strictly below
+// SharedBase at every supported node count.
+func TestPrivateRegionsBelowSharedBase(t *testing.T) {
+	app, _ := ByName("ocean", 0.01) // PrivateLines 512, the suite maximum
+	for _, nodes := range []int{64, 256, 1024} {
+		for _, node := range []int{0, nodes / 2, nodes - 1} {
+			s := NewStream(app, node, nodes, 1)
+			for j := 0; j < app.PrivateLines; j++ {
+				if a := s.privateAddr(j); a >= SharedBase || a < PrivateBase {
+					t.Fatalf("nodes=%d node=%d line=%d: private address %#x outside [%#x,%#x)",
+						nodes, node, j, uint64(a), uint64(PrivateBase), uint64(SharedBase))
+				}
+			}
+		}
+	}
+}
+
 func TestMigratoryPatternPairsLoadStore(t *testing.T) {
 	app, _ := ByName("mp3d", 0.1)
 	ops := drain(NewStream(app, 1, 16, 1))
